@@ -1,0 +1,223 @@
+// Ablations over HCC-MF's design choices (DESIGN.md's ablation targets):
+//   1. the lambda threshold (Eq. 5) that switches DP1 <-> DP2,
+//   2. the async stream depth (Strategy 3),
+//   3. each communication optimization toggled independently,
+//   4. worker pruning on the sync-bound shapes,
+//   5. sensitivity to the compute-drift calibration (how much DP1 matters).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/hccmf.hpp"
+#include "util/table.hpp"
+
+using namespace hcc;
+
+namespace {
+
+core::HccMfConfig base_config(const std::string& dataset) {
+  core::HccMfConfig config;
+  config.sgd.epochs = 20;
+  config.platform = sim::paper_workstation_hetero();
+  config.dataset_name = dataset;
+  return config;
+}
+
+double run(const core::HccMfConfig& config, const sim::DatasetShape& shape) {
+  core::HccMfConfig copy = config;
+  return core::HccMf(copy).simulate(shape).total_virtual_s;
+}
+
+}  // namespace
+
+int main() {
+  const sim::DatasetShape netflix = bench::shape_of(data::netflix_spec());
+  const sim::DatasetShape r1star = bench::shape_of(data::yahoo_r1_star_spec());
+  const sim::DatasetShape movielens =
+      bench::shape_of(data::movielens20m_spec());
+
+  // ------------------------------------------------------------------
+  bench::banner("Ablation 1: the lambda threshold (Eq. 5)",
+                "strategy auto-selection; paper fixes lambda = 10");
+  {
+    util::Table table({"lambda", "netflix strategy", "netflix (s)",
+                       "R1* strategy", "R1* (s)"});
+    for (double lambda : {0.1, 1.0, 10.0, 100.0, 1e6}) {
+      std::vector<std::string> row{util::Table::num(lambda, 1)};
+      for (const auto* shape : {&netflix, &r1star}) {
+        core::HccMfConfig config = base_config(shape == &netflix
+                                                   ? "netflix"
+                                                   : "r1star");
+        config.manager.lambda = lambda;
+        core::HccMf framework(config);
+        const core::Plan plan = framework.plan_for(*shape);
+        row.push_back(core::partition_strategy_name(plan.chosen));
+        row.push_back(util::Table::num(run(config, *shape), 3));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    std::cout << "shape: Netflix switches DP1->DP2 only at absurd lambda; "
+                 "R1* needs DP2 already at the paper's lambda=10\n";
+  }
+
+  // ------------------------------------------------------------------
+  bench::banner("Ablation 2: async stream depth (Strategy 3)",
+                "Figure 6 claims exposed comm ~ 1/streams; GPU engines cap at 4");
+  {
+    util::Table table({"streams", "movielens (s)", "vs 1 stream",
+                       "netflix (s)", "vs 1 stream"});
+    double ml_base = 0.0;
+    double nf_base = 0.0;
+    for (std::uint32_t streams : {1u, 2u, 4u, 8u}) {
+      core::HccMfConfig ml = base_config("movielens");
+      ml.comm.streams = streams;
+      core::HccMfConfig nf = base_config("netflix");
+      nf.comm.streams = streams;
+      const double ml_t = run(ml, movielens);
+      const double nf_t = run(nf, netflix);
+      if (streams == 1) {
+        ml_base = ml_t;
+        nf_base = nf_t;
+      }
+      table.add_row({std::to_string(streams), util::Table::num(ml_t, 3),
+                     util::Table::num(ml_base / ml_t, 2) + "x",
+                     util::Table::num(nf_t, 3),
+                     util::Table::num(nf_base / nf_t, 2) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "shape: streams trade exposed comm against mid-epoch sync "
+                 "contention on the server-sharing worker (2 streams can "
+                 "lose on MovieLens); nothing changes past the 4 copy "
+                 "engines\n";
+  }
+
+  // ------------------------------------------------------------------
+  bench::banner("Ablation 3: communication optimizations, one at a time",
+                "Section 3.4's three strategies, isolated");
+  {
+    struct Variant {
+      std::string label;
+      bool reduce, fp16;
+      std::uint32_t streams;
+      bool sparse;
+    };
+    const std::vector<Variant> variants = {
+        {"none", false, false, 1, false},
+        {"+ Q-only", true, false, 1, false},
+        {"+ FP16", false, true, 1, false},
+        {"+ streams", false, false, 4, false},
+        {"all three", true, true, 4, false},
+        {"all + sparse push (ext.)", true, true, 4, true},
+    };
+    util::Table table({"config", "netflix (s)", "movielens (s)", "R1* (s)"});
+    for (const auto& v : variants) {
+      std::vector<std::string> row{v.label};
+      for (const auto& [name, shape] :
+           std::vector<std::pair<std::string, const sim::DatasetShape*>>{
+               {"netflix", &netflix},
+               {"movielens", &movielens},
+               {"r1star", &r1star}}) {
+        core::HccMfConfig config = base_config(name);
+        config.comm.reduce_payload = v.reduce;
+        config.comm.fp16 = v.fp16;
+        config.comm.streams = v.streams;
+        config.comm.sparse = v.sparse;
+        row.push_back(util::Table::num(run(config, *shape), 3));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    std::cout << "note: sparse push is ~neutral here — with 4 workers every "
+                 "paper dataset is dense enough that each slice touches "
+                 "almost all items; it pays on very sparse/square shapes "
+                 "with many workers (see comm_sparse_test)\n";
+  }
+
+  // ------------------------------------------------------------------
+  bench::banner("Ablation 4: worker pruning on sync-bound shapes",
+                "DataManagerOptions::prune_unhelpful_workers (extension)");
+  {
+    util::Table table({"dataset", "all 4 workers (s)", "pruned (s)", "gain"});
+    for (const auto& [name, shape] :
+         std::vector<std::pair<std::string, const sim::DatasetShape*>>{
+             {"netflix", &netflix},
+             {"r1star", &r1star},
+             {"movielens", &movielens}}) {
+      core::HccMfConfig all = base_config(name);
+      all.comm.streams = 4;
+      core::HccMfConfig pruned = all;
+      pruned.manager.prune_unhelpful_workers = true;
+      const double t_all = run(all, *shape);
+      const double t_pruned = run(pruned, *shape);
+      table.add_row({name, util::Table::num(t_all, 3),
+                     util::Table::num(t_pruned, 3),
+                     util::Table::num(100 * (t_all - t_pruned) / t_all, 1) +
+                         "%"});
+    }
+    table.print(std::cout);
+    std::cout << "shape: pruning is a no-op on compute-bound sets and pays "
+                 "on comm/sync-bound ones\n";
+  }
+
+  // ------------------------------------------------------------------
+  bench::banner("Ablation 5: compute-drift sensitivity (DP0 vs DP1 gap)",
+                "how much assignment-size rate drift makes DP1 matter");
+  {
+    util::Table table({"GPU drift", "DP0 (s)", "DP1 (s)", "DP1 gain"});
+    for (double drift : {0.0, 0.05, 0.10, 0.20}) {
+      core::HccMfConfig config = base_config("netflix");
+      for (auto& w : config.platform.workers) {
+        if (w.cls == sim::DeviceClass::kGpu) w.compute_drift = drift;
+      }
+      config.partition = core::PartitionStrategy::kDp0;
+      const double dp0 = run(config, netflix);
+      config.partition = core::PartitionStrategy::kDp1;
+      const double dp1 = run(config, netflix);
+      table.add_row({util::Table::num(drift, 2), util::Table::num(dp0, 3),
+                     util::Table::num(dp1, 3),
+                     util::Table::num(100 * (dp0 - dp1) / dp0, 1) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << "shape: with no drift DP0 is already optimal (Theorem 1); "
+                 "the DP1 gain grows with the CPU/GPU drift gap\n";
+  }
+
+  // ------------------------------------------------------------------
+  bench::banner("Ablation 6: adaptive repartitioning under throttling",
+                "extension; the 2080S drops to 50% speed from epoch 10 of 40");
+  {
+    auto throttle = [](std::uint32_t epoch, std::size_t worker) {
+      return (worker == 0 && epoch >= 10) ? 0.5 : 1.0;
+    };
+    util::Table table({"dataset", "static (s)", "adaptive (s)", "recovered",
+                       "repartitions"});
+    for (const auto& [name, shape] :
+         std::vector<std::pair<std::string, const sim::DatasetShape*>>{
+             {"netflix", &netflix}, {"r1star", &r1star}}) {
+      core::HccMfConfig config = base_config(name);
+      config.sgd.epochs = 40;
+      config.rate_disturbance = throttle;
+
+      core::HccMfConfig no_throttle = base_config(name);
+      no_throttle.sgd.epochs = 40;
+      const double ideal = run(no_throttle, *shape);
+
+      const double static_t = run(config, *shape);
+      config.adaptive_repartition = true;
+      core::HccMf framework(config);
+      const core::TrainReport adaptive = framework.simulate(*shape);
+
+      // Fraction of the throttle damage the controller claws back.
+      const double recovered =
+          (static_t - adaptive.total_virtual_s) / (static_t - ideal);
+      table.add_row({name, util::Table::num(static_t, 3),
+                     util::Table::num(adaptive.total_virtual_s, 3),
+                     util::Table::num(100 * recovered, 1) + "%",
+                     std::to_string(adaptive.repartitions)});
+    }
+    table.print(std::cout);
+    std::cout << "shape: the online proportional rebalance recovers most of "
+                 "the imbalance a mid-training slowdown causes\n";
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Cluster scaling (extension; the paper's conclusion leaves the square-
+// matrix communication bottleneck as future work, and Figure 2 sketches
+// the multi-node architecture).
+//
+// Two questions, answered with the hierarchical two-level HCC:
+//   1. How far does adding whole workstations scale each dataset, and how
+//      much does the interconnect matter?
+//   2. Does batching several local epochs per global exchange recover
+//      scaling on communication-bound shapes (MovieLens / square)?
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cluster/hierarchical.hpp"
+#include "util/table.hpp"
+
+using namespace hcc;
+
+namespace {
+
+double run(const std::string& dataset, const sim::DatasetShape& shape,
+           std::size_t nodes, const cluster::InterconnectSpec& net,
+           std::uint32_t local_epochs, double* utilization = nullptr) {
+  cluster::HierarchicalConfig config;
+  config.sgd.epochs = 20 / local_epochs;
+  config.local_epochs = local_epochs;
+  config.cluster = cluster::workstation_cluster(nodes, net);
+  config.manager.prune_unhelpful_workers = true;
+  config.comm.streams = 4;
+  config.dataset_name = dataset;
+  cluster::HierarchicalHcc hcc(config);
+  const cluster::ClusterReport report = hcc.simulate(shape);
+  if (utilization != nullptr) *utilization = report.utilization;
+  return report.total_virtual_s;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Cluster scaling: hierarchical HCC-MF over N workstations",
+                "extension; Figure 2's architecture scaled out, 20 total epochs");
+
+  {
+    util::Table table({"dataset", "1 node (s)", "2 nodes (s)", "4 nodes (s)",
+                       "4-node speedup", "utilization@4"});
+    for (const char* dataset : {"netflix", "r2", "r1star", "movielens"}) {
+      const data::DatasetSpec spec = data::dataset_by_name(dataset);
+      const sim::DatasetShape shape = bench::shape_of(spec);
+      double util4 = 0.0;
+      const double t1 = run(dataset, shape, 1, cluster::ethernet_100g(), 1);
+      const double t2 = run(dataset, shape, 2, cluster::ethernet_100g(), 1);
+      const double t4 =
+          run(dataset, shape, 4, cluster::ethernet_100g(), 1, &util4);
+      table.add_row({dataset, util::Table::num(t1, 3),
+                     util::Table::num(t2, 3), util::Table::num(t4, 3),
+                     util::Table::num(t1 / t4, 2) + "x",
+                     util::Table::num(100 * util4, 1) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << "shape: compute-bound sets scale close to linearly; the "
+                 "dimension-bound sets are gated by the global exchange\n";
+  }
+
+  bench::banner("Interconnect sensitivity (4 nodes, Netflix vs R1*)",
+                "the global Q exchange is the new bus");
+  {
+    util::Table table({"network", "netflix (s)", "r1star (s)"});
+    for (const auto& net : {cluster::infiniband_hdr(),
+                            cluster::ethernet_100g(),
+                            cluster::ethernet_10g()}) {
+      table.add_row(
+          {net.name,
+           util::Table::num(run("netflix",
+                                bench::shape_of(data::netflix_spec()), 4, net,
+                                1),
+                            3),
+           util::Table::num(run("r1star",
+                                bench::shape_of(data::yahoo_r1_star_spec()),
+                                4, net, 1),
+                            3)});
+    }
+    table.print(std::cout);
+  }
+
+  bench::banner("Local epochs per global exchange (4 nodes, 10GbE)",
+                "trading staleness for communication on the bound shapes");
+  {
+    util::Table table({"local epochs", "r1star (s)", "movielens (s)"});
+    for (std::uint32_t local : {1u, 2u, 4u}) {
+      table.add_row(
+          {std::to_string(local),
+           util::Table::num(run("r1star",
+                                bench::shape_of(data::yahoo_r1_star_spec()),
+                                4, cluster::ethernet_10g(), local),
+                            3),
+           util::Table::num(run("movielens",
+                                bench::shape_of(data::movielens20m_spec()), 4,
+                                cluster::ethernet_10g(), local),
+                            3)});
+    }
+    table.print(std::cout);
+    std::cout << "shape: batching local epochs amortizes the global "
+                 "exchange — the future-work lever the paper points at\n";
+  }
+  return 0;
+}

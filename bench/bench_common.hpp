@@ -1,0 +1,24 @@
+// Shared helpers for the per-table/figure benchmark harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "data/datasets.hpp"
+#include "sim/perf_model.hpp"
+
+namespace hcc::bench {
+
+/// DatasetShape (k = 128, the paper's setting) from a catalogue spec.
+inline sim::DatasetShape shape_of(const data::DatasetSpec& spec,
+                                  std::uint32_t k = 128) {
+  return sim::DatasetShape{spec.name, spec.m, spec.n, spec.nnz, k};
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n==================================================================\n"
+            << title << "\n(" << paper_ref << ")\n"
+            << "==================================================================\n";
+}
+
+}  // namespace hcc::bench

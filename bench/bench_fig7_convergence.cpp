@@ -1,0 +1,208 @@
+// Figure 7 (Section 4.2): convergence rate and training speed of HCC-MF vs
+// FPSGD (CPU baseline) and CuMF_SGD-style batched SGD (GPU baseline) on
+// Netflix-, R1- and R2-shaped datasets.  Also prints the Table 3 dataset
+// parameters for reference.
+//
+// Functional layer: real SGD on scaled-down synthetic datasets -> real RMSE
+// curves (Figure 7 a-c).  Timing layer: the virtual platform clocks each
+// trainer (Figure 7 d-f); HCC-MF runs on the full workstation, FPSGD on the
+// 6242 and CuMF on the 2080S, so the speedup factors are the paper's
+// comparison.  Expected shape: equivalent per-epoch convergence, HCC
+// several times faster per epoch (paper: 2.3x/5.75x on Netflix,
+// 1.43x/6.96x on R1, 2.9x/3.13x on R2).
+//
+//   --scale_nnz=150000 controls the synthetic size; --epochs=30.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/hccmf.hpp"
+#include "mf/batched.hpp"
+#include "mf/fpsgd.hpp"
+#include "mf/metrics.hpp"
+#include "mf/trainer.hpp"
+#include "sim/trace_export.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace hcc;
+
+namespace {
+
+struct SeriesResult {
+  std::vector<double> rmse;       // per epoch
+  double epoch_seconds = 0.0;     // virtual seconds per epoch
+  std::string name;
+};
+
+double time_to_reach(const SeriesResult& series, double target_rmse) {
+  for (std::size_t e = 0; e < series.rmse.size(); ++e) {
+    if (series.rmse[e] <= target_rmse) {
+      return (static_cast<double>(e) + 1) * series.epoch_seconds;
+    }
+  }
+  return static_cast<double>(series.rmse.size()) * series.epoch_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::uint64_t target_nnz = cli.get("scale_nnz", std::int64_t{150000});
+  const std::uint32_t epochs =
+      static_cast<std::uint32_t>(cli.get("epochs", std::int64_t{30}));
+
+  bench::banner("Table 3: datasets and training parameters", "paper Table 3");
+  {
+    util::Table t({"data set", "m", "n", "nnz", "lambda1,2", "gamma"});
+    for (const auto& spec : data::paper_datasets()) {
+      t.add_row({spec.name, std::to_string(spec.m), std::to_string(spec.n),
+                 std::to_string(spec.nnz),
+                 util::Table::num(spec.reg_lambda, 2), "0.005"});
+    }
+    t.print(std::cout);
+  }
+
+  bench::banner(
+      "Figure 7: convergence rate and training speed, HCC vs FPSGD vs CuMF_SGD",
+      "paper Figure 7 a-f; synthetic data scaled to ~" +
+          std::to_string(target_nnz) + " ratings, timings from the virtual platform");
+
+  for (const char* dataset : {"netflix", "r1", "r2"}) {
+    const data::DatasetSpec base = data::dataset_by_name(dataset);
+    const double scale =
+        static_cast<double>(target_nnz) / static_cast<double>(base.nnz);
+    const data::DatasetSpec spec = base.scaled(scale);
+    data::GeneratorConfig gen;
+    gen.seed = 31;
+    gen.planted_rank = 4;
+    const data::RatingMatrix full = data::generate(spec, gen);
+    util::Rng rng(32);
+    const auto [train, test] = data::train_test_split(full, 0.1, rng);
+
+    // Step size scaled to the rating range (R1 is a 0-100 scale).
+    const float lr = 0.01f * (5.0f / std::max(5.0f, spec.rating_max));
+    mf::SgdConfig sgd = mf::SgdConfig::for_dataset(0.02f, lr, 16);
+    sgd.epochs = epochs;
+
+    // Virtual per-epoch seconds at full paper scale for each contender.
+    const sim::DatasetShape paper_shape = bench::shape_of(base);
+
+    std::vector<SeriesResult> series;
+
+    // --- HCC-MF on the workstation ------------------------------------
+    {
+      core::HccMfConfig config;
+      config.sgd = sgd;
+      config.platform = sim::paper_workstation_hetero();
+      for (auto& w : config.platform.workers) w.epoch_overhead_s = 0.0;
+      config.comm.streams = 4;  // Strategy 3 (the paper uses it on R1)
+      config.dataset_name = spec.name;
+      const core::TrainReport report =
+          core::HccMf(config).train(train, &test);
+      SeriesResult s;
+      s.name = "HCC";
+      for (const auto& e : report.epochs) s.rmse.push_back(e.test_rmse);
+      // Clock the paper-scale run on the same platform in its production
+      // configuration (all strategies + worker pruning), averaged over the
+      // 20-epoch schedule so the final P&Q push amortizes.
+      core::HccMfConfig paper_cfg;
+      paper_cfg.sgd.epochs = 20;
+      paper_cfg.platform = sim::paper_workstation_hetero();
+      paper_cfg.comm.streams = 4;
+      paper_cfg.manager.prune_unhelpful_workers = true;
+      paper_cfg.dataset_name = base.name;
+      s.epoch_seconds =
+          core::HccMf(paper_cfg).simulate(paper_shape).total_virtual_s / 20.0;
+      series.push_back(std::move(s));
+    }
+
+    // --- FPSGD on the CPU ----------------------------------------------
+    {
+      mf::FactorModel model(spec.m, spec.n, sgd.k);
+      util::Rng mrng(33);
+      model.init_random(mrng, 0.5f * (spec.rating_min + spec.rating_max));
+      mf::FpsgdTrainer trainer(sgd, 3);
+      SeriesResult s;
+      s.name = "FPSGD";
+      s.rmse = mf::train_and_trace(trainer, model, train, test, epochs);
+      s.epoch_seconds = sim::compute_seconds(sim::xeon_6242_24t(),
+                                             paper_shape, 1.0) +
+                        sim::xeon_6242_24t().epoch_overhead_s;
+      series.push_back(std::move(s));
+    }
+
+    // --- CuMF_SGD-style batched on the GPU ------------------------------
+    {
+      util::ThreadPool pool(2);
+      mf::FactorModel model(spec.m, spec.n, sgd.k);
+      util::Rng mrng(33);
+      model.init_random(mrng, 0.5f * (spec.rating_min + spec.rating_max));
+      mf::BatchedTrainer trainer(sgd, pool, 8);
+      SeriesResult s;
+      s.name = "cuMF_SGD";
+      s.rmse = mf::train_and_trace(trainer, model, train, test, epochs);
+      s.epoch_seconds =
+          sim::compute_seconds(sim::rtx_2080s(), paper_shape, 1.0) +
+          sim::rtx_2080s().epoch_overhead_s;
+      series.push_back(std::move(s));
+    }
+
+    // Optional machine-readable dump: --csv_prefix=/tmp/fig7 writes
+    // /tmp/fig7_<dataset>.csv with epoch, HCC, FPSGD, cuMF columns.
+    if (cli.has("csv_prefix")) {
+      std::vector<std::vector<double>> rows;
+      for (std::uint32_t e = 0; e < epochs; ++e) {
+        rows.push_back({static_cast<double>(e + 1), series[0].rmse[e],
+                        series[1].rmse[e], series[2].rmse[e]});
+      }
+      const std::string path = cli.get("csv_prefix", std::string()) + "_" +
+                               dataset + ".csv";
+      if (sim::export_series_csv({"epoch", "hcc", "fpsgd", "cumf"}, rows,
+                                 path)) {
+        std::cout << "(series written to " << path << ")\n";
+      }
+    }
+
+    // --- Figure 7 (a-c): RMSE vs epoch ----------------------------------
+    std::cout << "\n[" << dataset << "] RMSE vs epoch (Figure 7a-c shape: "
+              << "all three curves overlap)\n";
+    util::Table by_epoch({"epoch", "HCC", "FPSGD", "cuMF_SGD"});
+    for (std::uint32_t e = 0; e < epochs; e += std::max(1u, epochs / 8)) {
+      by_epoch.add_row({std::to_string(e + 1),
+                        util::Table::num(series[0].rmse[e], 4),
+                        util::Table::num(series[1].rmse[e], 4),
+                        util::Table::num(series[2].rmse[e], 4)});
+    }
+    by_epoch.print(std::cout);
+
+    // --- Figure 7 (d-f): RMSE vs (virtual) training time ----------------
+    // Target: 5% above the worst contender's final RMSE, a level every
+    // trainer reaches comfortably before its last epoch (the paper's d-f
+    // panels compare at equivalent convergence; our HCC trails the serial
+    // baselines by a few epochs early on, see EXPERIMENTS.md).
+    const double target =
+        1.05 * std::max({series[0].rmse.back(), series[1].rmse.back(),
+                         series[2].rmse.back()});
+    std::cout << "\n[" << dataset
+              << "] virtual time to reach RMSE <= "
+              << util::Table::num(target, 4) << " (Figure 7d-f shape)\n";
+    util::Table by_time({"trainer", "s/epoch (paper scale)",
+                         "per-epoch speedup", "time to target (s)",
+                         "HCC speedup"});
+    const double hcc_time = time_to_reach(series[0], target);
+    for (const auto& s : series) {
+      const double t = time_to_reach(s, target);
+      by_time.add_row({s.name, util::Table::num(s.epoch_seconds, 4),
+                       util::Table::num(
+                           s.epoch_seconds / series[0].epoch_seconds, 2) + "x",
+                       util::Table::num(t, 3),
+                       util::Table::num(t / hcc_time, 2) + "x"});
+    }
+    by_time.print(std::cout);
+  }
+
+  std::cout << "\npaper's speedup callouts: Netflix 2.3x (cuMF) / 5.75x "
+               "(FPSGD); R1 1.43x / 6.96x; R2 2.9x / 3.13x\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 8 (Section 4.3): 20-epoch cumulative pull / computing / push time
+// per worker under different data partition strategies.
+//   (a,b) Netflix, 3 & 4 workers: DP0 vs DP1  (DP1 ~12.2% better total)
+//   (c,d) R2,      3 & 4 workers: DP0 vs DP1  (DP1 ~10% better)
+//   (e,f) R1*,     3 & 4 workers: DP1 vs DP2  (DP2 ~12.1% better)
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/hccmf.hpp"
+#include "util/table.hpp"
+
+using namespace hcc;
+
+namespace {
+
+struct StrategyRun {
+  core::PartitionStrategy strategy;
+  sim::EpochTiming cumulative;  // 20 epochs
+  double total = 0.0;
+};
+
+StrategyRun run(const sim::PlatformSpec& platform,
+                const sim::DatasetShape& shape,
+                core::PartitionStrategy strategy) {
+  comm::CommConfig comm;  // all optimizations on, as in the paper's runs
+  core::DataManagerOptions options;
+  core::DataManager manager(platform, shape, comm, options);
+  const core::Plan plan = manager.plan(strategy);
+  StrategyRun result;
+  result.strategy = strategy;
+  result.cumulative.workers.resize(platform.workers.size());
+  for (std::uint32_t e = 0; e < 20; ++e) {
+    sim::EpochConfig cfg = manager.epoch_config(plan, e == 19);
+    cfg.seed = 500 + e;
+    const sim::EpochTiming t = sim::simulate_epoch(cfg);
+    result.total += t.epoch_s;
+    for (std::size_t w = 0; w < t.workers.size(); ++w) {
+      result.cumulative.workers[w].pull_s += t.workers[w].pull_s;
+      result.cumulative.workers[w].compute_s += t.workers[w].compute_s;
+      result.cumulative.workers[w].push_s +=
+          t.workers[w].push_s + t.workers[w].sync_s;  // paper: push incl. sync
+    }
+  }
+  return result;
+}
+
+void compare(const std::string& label, const sim::DatasetShape& shape,
+             std::size_t workers, core::PartitionStrategy a,
+             core::PartitionStrategy b) {
+  sim::PlatformSpec platform = sim::paper_workstation_hetero();
+  platform.workers.resize(workers);
+
+  std::cout << "\n--- " << label << " (" << workers << " workers) ---\n";
+  util::Table table({"strategy", "worker", "pull (s)", "computing (s)",
+                     "push+sync (s)", "total cost (s)"});
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (const auto strategy : {a, b}) {
+    const StrategyRun result = run(platform, shape, strategy);
+    (strategy == a ? total_a : total_b) = result.total;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const auto& wt = result.cumulative.workers[w];
+      table.add_row({w == 0 ? core::partition_strategy_name(strategy) : "",
+                     platform.workers[w].name,
+                     util::Table::num(wt.pull_s, 4),
+                     util::Table::num(wt.compute_s, 4),
+                     util::Table::num(wt.push_s, 4),
+                     w == 0 ? util::Table::num(result.total, 4) : ""});
+    }
+  }
+  table.print(std::cout);
+  std::cout << core::partition_strategy_name(b) << " vs "
+            << core::partition_strategy_name(a) << ": total cost "
+            << util::Table::num(100.0 * (total_a - total_b) / total_a, 1)
+            << "% lower\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 8: 20-epoch time statistics under different partition strategies",
+      "paper Figure 8 a-f; DP1 beats DP0 on Netflix/R2, DP2 beats DP1 on R1*");
+
+  const auto netflix = bench::shape_of(data::netflix_spec());
+  const auto r2 = bench::shape_of(data::yahoo_r2_spec());
+  const auto r1star = bench::shape_of(data::yahoo_r1_star_spec());
+
+  compare("Netflix: DP0 vs DP1", netflix, 3, core::PartitionStrategy::kDp0,
+          core::PartitionStrategy::kDp1);
+  compare("Netflix: DP0 vs DP1", netflix, 4, core::PartitionStrategy::kDp0,
+          core::PartitionStrategy::kDp1);
+  compare("R2: DP0 vs DP1", r2, 3, core::PartitionStrategy::kDp0,
+          core::PartitionStrategy::kDp1);
+  compare("R2: DP0 vs DP1", r2, 4, core::PartitionStrategy::kDp0,
+          core::PartitionStrategy::kDp1);
+  compare("R1*: DP1 vs DP2", r1star, 3, core::PartitionStrategy::kDp1,
+          core::PartitionStrategy::kDp2);
+  compare("R1*: DP1 vs DP2", r1star, 4, core::PartitionStrategy::kDp1,
+          core::PartitionStrategy::kDp2);
+
+  std::cout << "\npaper's callouts: DP1 -12.2% (Netflix-4w), -10% (R2); "
+               "DP2 -12.1% (R1*-4w)\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 2 (Section 3.3): runtime memory bandwidth of each worker when it
+// processes the whole dataset alone ("IW") vs under its DP0 assignment —
+// the observation motivating DP1: CPU bandwidth is ~constant, GPU bandwidth
+// creeps up a little as the assignment shrinks.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/data_manager.hpp"
+#include "util/table.hpp"
+
+using namespace hcc;
+
+int main() {
+  bench::banner("Table 2: memory bandwidth (GB/s) under IW vs DP0",
+                "paper Table 2; Netflix, workers 6242 / 6242l-10 / 2080 / 2080S");
+
+  const sim::DatasetShape shape = bench::shape_of(data::netflix_spec());
+
+  // The Table 2 platform: full 6242, throttled 6242l-10, both GPUs.
+  sim::PlatformSpec platform;
+  platform.name = "table2";
+  platform.workers = {sim::xeon_6242_24t(), sim::xeon_6242_10t(),
+                      sim::rtx_2080(), sim::rtx_2080s()};
+
+  comm::CommConfig comm;
+  core::DataManager manager(platform, shape, comm);
+  const core::Plan plan = manager.plan(core::PartitionStrategy::kDp0);
+
+  util::Table table({"worker", "IW (GB/s)", "DP0 (GB/s)", "DP0 share",
+                     "delta"});
+  const std::vector<std::string> labels = {"6242", "6242l-10", "2080",
+                                           "2080S"};
+  for (std::size_t w = 0; w < platform.workers.size(); ++w) {
+    const double iw = sim::mem_bandwidth(platform.workers[w], 1.0);
+    const double dp0 = sim::mem_bandwidth(platform.workers[w],
+                                          plan.shares[w]);
+    table.add_row({labels[w], util::Table::num(iw, 4),
+                   util::Table::num(dp0, 4),
+                   util::Table::num(plan.shares[w], 3),
+                   "+" + util::Table::num(100 * (dp0 - iw) / iw, 2) + "%"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper Table 2: 6242 67.30->67.75, 6242l-10 39.32->39.60, "
+               "2080 378.6->388.8, 2080S 407.1->412.0\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table 4 (Section 4.2): "computing power" of 20-epoch training — each
+// device independently, the ideal sum, HCC-MF's achieved power and the
+// resulting utilization, for all four datasets.
+//
+// Expected shape: Netflix ~86%, R2 ~88%, R1 ~62%, MovieLens ~46%.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/hccmf.hpp"
+#include "util/table.hpp"
+
+using namespace hcc;
+
+int main() {
+  bench::banner(
+      "Table 4: computing power of 20-epoch training (updates/s)",
+      "paper Table 4; platform 6242-24T + 6242-16T + 2080 + 2080S");
+
+  const sim::PlatformSpec platform = sim::paper_workstation_overall();
+
+  util::Table table({"data set", "6242-24T", "6242-16T", "2080", "2080S",
+                     "Ideal", "HCC", "utilization", "paper"});
+  const std::vector<std::pair<std::string, std::string>> expectations = {
+      {"netflix", "86%"}, {"r1", "62%"}, {"r2", "88%"}, {"movielens", "46%"}};
+
+  for (const auto& [dataset, paper_util] : expectations) {
+    const data::DatasetSpec spec = data::dataset_by_name(dataset);
+    const sim::DatasetShape shape = bench::shape_of(spec);
+
+    std::vector<std::string> row{dataset};
+    for (const auto& device : platform.workers) {
+      row.push_back(
+          util::Table::num(sim::iw_update_rate(device, shape) / 1e6, 0));
+    }
+
+    core::HccMfConfig config;
+    config.sgd.epochs = 20;
+    config.platform = platform;
+    config.partition = core::PartitionStrategy::kAuto;
+    config.comm.streams = 4;
+    config.manager.prune_unhelpful_workers = true;
+    config.dataset_name = spec.name;
+    const core::TrainReport report = core::HccMf(config).simulate(shape);
+    row.push_back(util::Table::num(report.ideal_updates_per_s / 1e6, 0));
+    row.push_back(util::Table::num(report.updates_per_s / 1e6, 0));
+    row.push_back(util::Table::num(100 * report.utilization, 0) + "%");
+    row.push_back(paper_util);
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\n(all powers in Mupdates/s; 'paper' = Table 4's measured "
+               "utilization)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Auto-tuning demo: for each paper dataset, let the tuner pick the
+// communication configuration and the DataManager pick the partition, then
+// show what a run with the tuned configuration looks like vs the defaults.
+//
+//   ./autotune [--dataset=all|netflix|r1|r1star|r2|movielens]
+#include <iostream>
+
+#include "core/report_format.hpp"
+#include "core/tuner.hpp"
+#include "hccmf.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcc;
+  const util::Cli cli(argc, argv);
+  const std::string which = cli.get("dataset", std::string("all"));
+
+  util::Table table({"dataset", "default epoch (s)", "tuned epoch (s)",
+                     "gain", "tuned configuration"});
+  for (const auto& spec : data::paper_datasets()) {
+    if (which != "all" && which != spec.name) continue;
+    const sim::DatasetShape shape{spec.name, spec.m, spec.n, spec.nnz, 128};
+    const auto platform = sim::paper_workstation_hetero();
+
+    comm::CommConfig default_comm;
+    core::DataManager default_mgr(platform, shape, default_comm);
+    const double default_epoch =
+        default_mgr.simulated_epoch_seconds(default_mgr.plan());
+
+    const core::TuneResult tuned = core::tune_comm(platform, shape);
+    table.add_row(
+        {spec.name, util::Table::num(default_epoch, 4),
+         util::Table::num(tuned.best.epoch_seconds, 4),
+         util::Table::num(
+             100.0 * (default_epoch - tuned.best.epoch_seconds) /
+                 default_epoch,
+             1) +
+             "%",
+         tuned.summary()});
+  }
+  table.print(std::cout);
+
+  // Show a full tuned run on one dataset, via the report formatter.
+  const std::string demo = which == "all" ? "movielens" : which;
+  const data::DatasetSpec spec = data::dataset_by_name(demo);
+  const core::TuneResult tuned = core::tune_comm(
+      sim::paper_workstation_hetero(),
+      {spec.name, spec.m, spec.n, spec.nnz, 128});
+
+  core::HccMfConfig config;
+  config.sgd.epochs = 20;
+  config.comm = tuned.best.comm;
+  config.manager.prune_unhelpful_workers = tuned.best.prune;
+  config.platform = sim::paper_workstation_hetero();
+  config.dataset_name = spec.name;
+  const core::TrainReport report = core::HccMf(config).simulate(
+      {spec.name, spec.m, spec.n, spec.nnz, 128});
+
+  std::cout << "\ntuned 20-epoch run on " << demo << ":\n"
+            << core::format_report(report);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "cluster/cluster.hpp"
+
+#include "sim/perf_model.hpp"
+
+namespace hcc::cluster {
+
+InterconnectSpec infiniband_hdr() {
+  return InterconnectSpec{"IB-HDR", 25.0, 1e-6};
+}
+
+InterconnectSpec ethernet_100g() {
+  return InterconnectSpec{"100GbE", 12.5, 10e-6};
+}
+
+InterconnectSpec ethernet_10g() {
+  return InterconnectSpec{"10GbE", 1.25, 50e-6};
+}
+
+double ClusterSpec::ideal_update_rate(const sim::DatasetShape& shape) const {
+  double total = 0.0;
+  for (const auto& node : nodes) {
+    total += node.platform.ideal_update_rate(shape);
+  }
+  return total;
+}
+
+std::size_t ClusterSpec::total_workers() const {
+  std::size_t total = 0;
+  for (const auto& node : nodes) total += node.platform.workers.size();
+  return total;
+}
+
+ClusterSpec workstation_cluster(std::size_t node_count,
+                                const InterconnectSpec& network) {
+  ClusterSpec cluster;
+  cluster.name = std::to_string(node_count) + "x-workstation-" + network.name;
+  cluster.network = network;
+  cluster.global_server = sim::ServerSpec{};
+  for (std::size_t n = 0; n < node_count; ++n) {
+    NodeSpec node;
+    node.name = "node" + std::to_string(n);
+    node.platform = sim::paper_workstation_hetero();
+    cluster.nodes.push_back(std::move(node));
+  }
+  return cluster;
+}
+
+}  // namespace hcc::cluster

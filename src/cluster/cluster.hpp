@@ -1,0 +1,55 @@
+// Multi-node cluster specifications (extension).
+//
+// The paper's Figure 2 shows the multi-CPU/GPU architecture scaled out to a
+// multi-node cluster, and its conclusion leaves the communication
+// bottleneck on square matrices as future work.  This module extends the
+// virtual platform to several workstation nodes joined by a network, as
+// the substrate for the hierarchical two-level HCC of hierarchical.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/platform.hpp"
+
+namespace hcc::cluster {
+
+/// The inter-node network.
+struct InterconnectSpec {
+  std::string name = "100GbE";
+  double bandwidth_gbs = 12.5;  ///< per-link, full duplex
+  double latency_s = 10e-6;     ///< per message
+};
+
+/// Common interconnect presets.
+InterconnectSpec infiniband_hdr();  ///< 200 Gb/s, 1 us
+InterconnectSpec ethernet_100g();   ///< 100 Gb/s, 10 us
+InterconnectSpec ethernet_10g();    ///< 10 Gb/s, 50 us
+
+/// One machine of the cluster.
+struct NodeSpec {
+  std::string name;
+  sim::PlatformSpec platform;
+};
+
+/// The whole cluster: nodes + network + the global parameter server (which
+/// lives on node 0's CPU, mirroring the intra-node design).
+struct ClusterSpec {
+  std::string name;
+  std::vector<NodeSpec> nodes;
+  InterconnectSpec network;
+  sim::ServerSpec global_server;
+
+  /// Sum of all workers' independent update rates across all nodes.
+  double ideal_update_rate(const sim::DatasetShape& shape) const;
+
+  std::size_t total_workers() const;
+};
+
+/// `node_count` copies of the paper's workstation joined by `network`
+/// (Figure 2 scaled out).
+ClusterSpec workstation_cluster(std::size_t node_count,
+                                const InterconnectSpec& network);
+
+}  // namespace hcc::cluster

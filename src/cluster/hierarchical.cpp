@@ -1,0 +1,214 @@
+#include "cluster/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "comm/payload.hpp"
+#include "core/partition.hpp"
+#include "core/server.hpp"
+#include "core/worker.hpp"
+#include "data/grid.hpp"
+#include "mf/metrics.hpp"
+
+namespace hcc::cluster {
+
+HierarchicalHcc::HierarchicalHcc(HierarchicalConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<double> HierarchicalHcc::node_shares(
+    const sim::DatasetShape& shape) const {
+  std::vector<double> times;
+  times.reserve(config_.cluster.nodes.size());
+  for (const auto& node : config_.cluster.nodes) {
+    times.push_back(static_cast<double>(shape.nnz) /
+                    node.platform.ideal_update_rate(shape));
+  }
+  return core::dp0_partition(times);
+}
+
+GlobalEpochTiming HierarchicalHcc::time_global_epoch(
+    const sim::DatasetShape& shape, const std::vector<double>& shares,
+    bool last) const {
+  GlobalEpochTiming timing;
+
+  // Level 1: node-local epochs run in parallel across nodes.
+  for (std::size_t n = 0; n < config_.cluster.nodes.size(); ++n) {
+    sim::DatasetShape node_shape = shape;
+    node_shape.m = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(shape.m * shares[n])));
+    node_shape.nnz = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(
+               static_cast<double>(shape.nnz) * shares[n])));
+
+    core::HccMfConfig node_config;
+    node_config.sgd = config_.sgd;
+    node_config.sgd.epochs = config_.local_epochs;
+    node_config.comm = config_.comm;
+    node_config.platform = config_.cluster.nodes[n].platform;
+    node_config.manager = config_.manager;
+    node_config.dataset_name = config_.dataset_name;
+    const double node_s =
+        core::HccMf(node_config).simulate(node_shape).total_virtual_s;
+    timing.node_max_s = std::max(timing.node_max_s, node_s);
+  }
+
+  // Level 2: global Q exchange over the network (links are parallel, so
+  // the per-node transfer time is the exposed one) ...
+  const std::uint64_t q_elements = shape.n * shape.k;
+  double wire = 2.0 * comm::wire_bytes(q_elements, config_.comm.fp16);
+  if (last) {
+    // ... the final global push also delivers every node's P rows.
+    wire += comm::wire_bytes(shape.m * shape.k, config_.comm.fp16);
+  }
+  timing.network_s = wire / (config_.cluster.network.bandwidth_gbs * 1e9) +
+                     2.0 * config_.cluster.network.latency_s;
+
+  // ... plus the serial global merge, one multiply-add per Q parameter per
+  // node (Eq. 3 one level up).
+  const double sync_bytes = static_cast<double>(q_elements) * 4.0;
+  const double per_node_sync =
+      3.0 * sync_bytes / (config_.cluster.global_server.mem_bandwidth_gbs * 1e9) +
+      (sync_bytes / 4.0) / (config_.cluster.global_server.compute_gflops * 1e9);
+  timing.global_sync_s =
+      per_node_sync * static_cast<double>(config_.cluster.nodes.size());
+
+  timing.total_s = timing.node_max_s + timing.network_s + timing.global_sync_s;
+  return timing;
+}
+
+ClusterReport HierarchicalHcc::simulate(const sim::DatasetShape& shape) {
+  ClusterReport report;
+  report.node_shares = node_shares(shape);
+  const std::uint32_t global_epochs = config_.sgd.epochs;
+  const GlobalEpochTiming mid =
+      time_global_epoch(shape, report.node_shares, false);
+  const GlobalEpochTiming last =
+      time_global_epoch(shape, report.node_shares, true);
+  for (std::uint32_t e = 0; e < global_epochs; ++e) {
+    const GlobalEpochTiming& t = (e + 1 == global_epochs) ? last : mid;
+    report.epochs.push_back(t);
+    report.total_virtual_s += t.total_s;
+  }
+  const double updates = static_cast<double>(shape.nnz) *
+                         config_.local_epochs * global_epochs;
+  report.updates_per_s =
+      report.total_virtual_s > 0 ? updates / report.total_virtual_s : 0.0;
+  report.ideal_updates_per_s = config_.cluster.ideal_update_rate(shape);
+  report.utilization = report.ideal_updates_per_s > 0
+                           ? report.updates_per_s / report.ideal_updates_per_s
+                           : 0.0;
+  return report;
+}
+
+ClusterReport HierarchicalHcc::train(const data::RatingMatrix& train_ratings,
+                                     const data::RatingMatrix* test_ratings) {
+  const bool transpose = train_ratings.cols() > train_ratings.rows();
+  data::RatingMatrix matrix =
+      transpose ? train_ratings.transposed() : train_ratings;
+  data::RatingMatrix test_local;
+  if (test_ratings != nullptr && transpose) {
+    test_local = test_ratings->transposed();
+    test_ratings = &test_local;
+  }
+
+  sim::DatasetShape shape;
+  shape.name = config_.dataset_name;
+  shape.m = matrix.rows();
+  shape.n = matrix.cols();
+  shape.nnz = matrix.nnz();
+  shape.k = config_.sgd.k;
+
+  ClusterReport report;
+  report.node_shares = node_shares(shape);
+
+  // Row-grid the data across nodes; each node is one cluster-level worker.
+  const auto grid =
+      data::make_grid(matrix, data::GridKind::kRow, report.node_shares);
+  auto slices =
+      data::assign_slices(std::move(matrix), data::GridKind::kRow, grid);
+
+  double mean = 0.0;
+  std::size_t nnz = 0;
+  for (const auto& s : slices) {
+    for (const auto& e : s.entries()) mean += e.r;
+    nnz += s.nnz();
+  }
+  mean = nnz > 0 ? mean / static_cast<double>(nnz) : 1.0;
+
+  util::Rng rng(config_.sgd.seed);
+  mf::FactorModel model(shape.m, shape.n, shape.k);
+  model.init_random(rng, static_cast<float>(mean));
+  core::Server global_server(std::move(model), config_.comm);
+
+  // Per-item weights across nodes (same rule as the intra-node merge).
+  std::vector<std::vector<std::size_t>> counts;
+  std::vector<std::size_t> totals(shape.n, 0);
+  for (const auto& s : slices) {
+    counts.push_back(s.col_counts());
+    for (std::size_t i = 0; i < shape.n; ++i) totals[i] += counts.back()[i];
+  }
+
+  std::vector<core::TrainWorker> nodes;
+  for (std::size_t n = 0; n < slices.size(); ++n) {
+    nodes.emplace_back(static_cast<std::uint32_t>(n),
+                       config_.cluster.nodes[n].name, std::move(slices[n]),
+                       config_.comm, /*streams=*/1);
+    std::vector<float> weights(shape.n, 0.0f);
+    for (std::size_t i = 0; i < shape.n; ++i) {
+      if (totals[i] > 0) {
+        weights[i] = static_cast<float>(counts[n][i]) /
+                     static_cast<float>(totals[i]);
+      }
+    }
+    nodes.back().set_item_weights(std::move(weights));
+  }
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (config_.host_threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(config_.host_threads);
+  }
+
+  const GlobalEpochTiming mid =
+      time_global_epoch(shape, report.node_shares, false);
+  const GlobalEpochTiming last_t =
+      time_global_epoch(shape, report.node_shares, true);
+
+  float lr = config_.sgd.learn_rate;
+  for (std::uint32_t epoch = 0; epoch < config_.sgd.epochs; ++epoch) {
+    for (auto& node : nodes) node.pull(global_server);
+    for (auto& node : nodes) {
+      // `local_epochs` full passes over the node's slice between global
+      // syncs (the staleness/communication trade-off knob).
+      for (std::uint32_t le = 0; le < config_.local_epochs; ++le) {
+        node.compute_chunk(global_server, 0, lr, config_.sgd.reg_p,
+                           config_.sgd.reg_q, pool.get());
+      }
+    }
+    for (auto& node : nodes) node.push(global_server);
+    lr *= config_.sgd.lr_decay;
+
+    const GlobalEpochTiming& t =
+        (epoch + 1 == config_.sgd.epochs) ? last_t : mid;
+    report.epochs.push_back(t);
+    report.total_virtual_s += t.total_s;
+    if (test_ratings != nullptr) {
+      report.test_rmse.push_back(mf::rmse(global_server.model(),
+                                          *test_ratings));
+    }
+  }
+  if (config_.comm.fp16) global_server.roundtrip_p_through_codec();
+
+  const double updates = static_cast<double>(shape.nnz) *
+                         config_.local_epochs * config_.sgd.epochs;
+  report.updates_per_s =
+      report.total_virtual_s > 0 ? updates / report.total_virtual_s : 0.0;
+  report.ideal_updates_per_s = config_.cluster.ideal_update_rate(shape);
+  report.utilization = report.ideal_updates_per_s > 0
+                           ? report.updates_per_s / report.ideal_updates_per_s
+                           : 0.0;
+  report.model = std::move(global_server.model());
+  return report;
+}
+
+}  // namespace hcc::cluster

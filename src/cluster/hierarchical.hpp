@@ -1,0 +1,86 @@
+// Hierarchical (two-level) HCC-MF across a cluster (extension).
+//
+// Level 1: inside each node, plain HCC-MF — a local parameter server, DP
+// partitioning over the node's CPUs/GPUs, COMM over PCIe/UPI.
+// Level 2: across nodes, the same parameter-server pattern once more — the
+// rating matrix's rows are split across nodes (so each node's P rows stay
+// node-local, Strategy 1 applies at cluster scope too), and a global server
+// on node 0 merges the nodes' Q deltas over the network each global epoch.
+//
+// Timing: node epochs run in parallel (each from the intra-node engine);
+// the global exchange adds network transfer (parallel links) plus a serial
+// global sync — the same Eq. 1 structure one level up.  `local_epochs`
+// trades global communication against staleness, the standard knob this
+// architecture adds over single-node HCC.
+//
+// Functionally each node behaves exactly like one HCC worker against the
+// global server (pull Q, train the node's slice, push a per-item-weighted
+// delta), so the functional path reuses core::Server / core::TrainWorker.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/hccmf.hpp"
+
+namespace hcc::cluster {
+
+/// Configuration of a hierarchical run.
+struct HierarchicalConfig {
+  mf::SgdConfig sgd;
+  comm::CommConfig comm;           ///< used at both levels (FP16 etc.)
+  ClusterSpec cluster;
+  std::uint32_t local_epochs = 1;  ///< node-local epochs per global epoch
+  core::DataManagerOptions manager;
+  std::string dataset_name;
+  std::uint32_t host_threads = 0;  ///< functional ASGD threads per node
+};
+
+/// Per-global-epoch timing decomposition.
+struct GlobalEpochTiming {
+  double node_max_s = 0.0;      ///< slowest node's local epoch(s)
+  double network_s = 0.0;       ///< global pull+push over the interconnect
+  double global_sync_s = 0.0;   ///< serial Q merge on the global server
+  double total_s = 0.0;
+};
+
+/// The result of a hierarchical run.
+struct ClusterReport {
+  std::vector<double> node_shares;       ///< data split across nodes
+  std::vector<GlobalEpochTiming> epochs; ///< one per *global* epoch
+  double total_virtual_s = 0.0;
+  double updates_per_s = 0.0;
+  double ideal_updates_per_s = 0.0;
+  double utilization = 0.0;
+  std::vector<double> test_rmse;         ///< per global epoch (functional)
+  std::optional<mf::FactorModel> model;
+};
+
+/// Two-level HCC-MF.
+class HierarchicalHcc {
+ public:
+  explicit HierarchicalHcc(HierarchicalConfig config);
+
+  /// Timing-only run at `shape` (paper-scale what-if).
+  ClusterReport simulate(const sim::DatasetShape& shape);
+
+  /// Functional training: real SGD on each node's slice, real Q merges at
+  /// both levels.  `sgd.epochs` counts *global* epochs.
+  ClusterReport train(const data::RatingMatrix& train_ratings,
+                      const data::RatingMatrix* test_ratings = nullptr);
+
+  /// Data split across nodes: DP0 over the nodes' aggregate ideal rates
+  /// (a node is "one big worker" at cluster level).
+  std::vector<double> node_shares(const sim::DatasetShape& shape) const;
+
+ private:
+  GlobalEpochTiming time_global_epoch(const sim::DatasetShape& shape,
+                                      const std::vector<double>& shares,
+                                      bool last) const;
+
+  HierarchicalConfig config_;
+};
+
+}  // namespace hcc::cluster

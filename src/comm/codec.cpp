@@ -1,0 +1,36 @@
+#include "comm/codec.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/fp16.hpp"
+
+namespace hcc::comm {
+
+void Fp32Codec::encode(std::span<const float> src,
+                       std::span<std::byte> dst) const {
+  assert(dst.size() >= encoded_bytes(src.size()));
+  std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
+}
+
+void Fp32Codec::decode(std::span<const std::byte> src,
+                       std::span<float> dst) const {
+  assert(src.size() >= encoded_bytes(dst.size()));
+  std::memcpy(dst.data(), src.data(), dst.size() * sizeof(float));
+}
+
+void Fp16Codec::encode(std::span<const float> src,
+                       std::span<std::byte> dst) const {
+  assert(dst.size() >= encoded_bytes(src.size()));
+  auto* out = reinterpret_cast<util::Half*>(dst.data());
+  util::fp16_encode(src, std::span<util::Half>(out, src.size()));
+}
+
+void Fp16Codec::decode(std::span<const std::byte> src,
+                       std::span<float> dst) const {
+  assert(src.size() >= encoded_bytes(dst.size()));
+  const auto* in = reinterpret_cast<const util::Half*>(src.data());
+  util::fp16_decode(std::span<const util::Half>(in, dst.size()), dst);
+}
+
+}  // namespace hcc::comm

@@ -1,0 +1,65 @@
+// Wire codecs for feature-matrix transfers.
+//
+// Strategy 2 of Section 3.4: feature matrices do not need binary32 precision
+// to represent coarse rating scales, so COMM can compress them to binary16
+// on the wire.  Fp32Codec is the pass-through; Fp16Codec halves the wire
+// bytes at the cost of one rounding per value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hcc::comm {
+
+/// Encodes/decodes a float array to/from wire bytes.  Implementations are
+/// stateless and thread-compatible (const operations can run concurrently).
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Bytes needed on the wire for `n_floats` values.
+  virtual std::size_t encoded_bytes(std::size_t n_floats) const = 0;
+
+  /// Encodes src into dst; dst.size() must be >= encoded_bytes(src.size()).
+  virtual void encode(std::span<const float> src,
+                      std::span<std::byte> dst) const = 0;
+
+  /// Decodes exactly dst.size() floats from src.
+  virtual void decode(std::span<const std::byte> src,
+                      std::span<float> dst) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Pass-through binary32 codec (memcpy on the wire).
+class Fp32Codec final : public Codec {
+ public:
+  std::size_t encoded_bytes(std::size_t n_floats) const override {
+    return n_floats * 4;
+  }
+  void encode(std::span<const float> src,
+              std::span<std::byte> dst) const override;
+  void decode(std::span<const std::byte> src,
+              std::span<float> dst) const override;
+  std::string name() const override { return "fp32"; }
+};
+
+/// Binary16 codec (Strategy 2).  Values round to nearest-even; the relative
+/// error bound util::kFp16RelativeError is what the convergence tests check
+/// training tolerates.
+class Fp16Codec final : public Codec {
+ public:
+  std::size_t encoded_bytes(std::size_t n_floats) const override {
+    return n_floats * 2;
+  }
+  void encode(std::span<const float> src,
+              std::span<std::byte> dst) const override;
+  void decode(std::span<const std::byte> src,
+              std::span<float> dst) const override;
+  std::string name() const override { return "fp16"; }
+};
+
+}  // namespace hcc::comm

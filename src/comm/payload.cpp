@@ -1,0 +1,52 @@
+#include "comm/payload.hpp"
+
+#include <cmath>
+
+namespace hcc::comm {
+
+const char* payload_mode_name(PayloadMode mode) {
+  switch (mode) {
+    case PayloadMode::kPQ: return "P&Q";
+    case PayloadMode::kQOnly: return "Q";
+    case PayloadMode::kPOnly: return "P";
+  }
+  return "?";
+}
+
+std::uint64_t pull_elements(const sim::DatasetShape& shape, PayloadMode mode) {
+  const std::uint64_t p_elems = shape.m * shape.k;
+  const std::uint64_t q_elems = shape.n * shape.k;
+  switch (mode) {
+    case PayloadMode::kPQ: return p_elems + q_elems;
+    case PayloadMode::kQOnly: return q_elems;
+    case PayloadMode::kPOnly: return p_elems;
+  }
+  return 0;
+}
+
+std::uint64_t push_elements(const sim::DatasetShape& shape, PayloadMode mode,
+                            bool last_epoch) {
+  const std::uint64_t p_elems = shape.m * shape.k;
+  const std::uint64_t q_elems = shape.n * shape.k;
+  if (mode == PayloadMode::kPQ || last_epoch) return p_elems + q_elems;
+  return mode == PayloadMode::kQOnly ? q_elems : p_elems;
+}
+
+double expected_touched_fraction(double assigned_nnz, double n) {
+  if (n <= 0.0) return 0.0;
+  if (assigned_nnz <= 0.0) return 0.0;
+  return 1.0 - std::exp(-assigned_nnz / n);
+}
+
+double total_wire_bytes(const sim::DatasetShape& shape, PayloadMode mode,
+                        bool fp16, std::uint32_t epochs) {
+  double total = 0.0;
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    const bool last = (e + 1 == epochs);
+    total += wire_bytes(pull_elements(shape, mode), fp16);
+    total += wire_bytes(push_elements(shape, mode, last), fp16);
+  }
+  return total;
+}
+
+}  // namespace hcc::comm

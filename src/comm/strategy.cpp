@@ -1,0 +1,66 @@
+#include "comm/strategy.hpp"
+
+#include <algorithm>
+
+namespace hcc::comm {
+
+PayloadMode effective_mode(const CommConfig& config,
+                           const sim::DatasetShape& shape) {
+  if (!config.reduce_payload) return PayloadMode::kPQ;
+  return choose_payload(shape.m, shape.n);
+}
+
+std::uint32_t effective_streams(const CommConfig& config,
+                                const sim::DeviceSpec& device) {
+  return std::max(1u, std::min(config.streams, device.copy_streams));
+}
+
+sim::CommPlan make_comm_plan(const CommConfig& config,
+                             const sim::DatasetShape& shape,
+                             const sim::DeviceSpec& device, bool last_epoch,
+                             double share) {
+  const PayloadMode mode = effective_mode(config, shape);
+  sim::CommPlan plan;
+  plan.pull_bytes = wire_bytes(pull_elements(shape, mode), config.fp16);
+  plan.push_bytes =
+      wire_bytes(push_elements(shape, mode, last_epoch), config.fp16);
+  // The server merges every pushed feature at FP32 width regardless of the
+  // wire encoding (Eq. 3 counts elements, not wire bytes).
+  plan.sync_bytes = static_cast<double>(
+      push_elements(shape, mode, last_epoch) * 4);
+
+  // Strategy 4 (extension): only the touched Q rows travel and merge.  The
+  // exchanged-dimension term shrinks from n to touched(n); the final P&Q
+  // push and the P side are unaffected (P rows are worker-exclusive).
+  if (config.sparse && mode == PayloadMode::kQOnly && !last_epoch) {
+    const double frac = expected_touched_fraction(
+        static_cast<double>(shape.nnz) * share, static_cast<double>(shape.n));
+    const double index_bytes = 4.0 * frac * static_cast<double>(shape.n);
+    plan.pull_bytes = plan.pull_bytes * frac + index_bytes;
+    plan.push_bytes = plan.push_bytes * frac + index_bytes;
+    plan.sync_bytes *= frac;
+  }
+
+  double efficiency = config.shm_bus_efficiency;
+  if (config.backend == BackendKind::kBroker) {
+    efficiency /= config.broker_penalty;
+  }
+  if (config.fp16) efficiency *= config.fp16_bus_bonus;
+  plan.bus_efficiency = efficiency;
+  plan.streams = effective_streams(config, device);
+  return plan;
+}
+
+std::unique_ptr<Codec> make_codec(const CommConfig& config) {
+  if (config.fp16) return std::make_unique<Fp16Codec>();
+  return std::make_unique<Fp32Codec>();
+}
+
+std::unique_ptr<CommBackend> make_backend(const CommConfig& config) {
+  if (config.backend == BackendKind::kBroker) {
+    return std::make_unique<BrokerComm>();
+  }
+  return std::make_unique<ShmComm>();
+}
+
+}  // namespace hcc::comm

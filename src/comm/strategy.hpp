@@ -1,0 +1,65 @@
+// Communication strategy planner.
+//
+// Combines the three optimizations of Section 3.4 — payload reduction
+// (Strategy 1), FP16 compression (Strategy 2) and asynchronous multi-stream
+// pipelines (Strategy 3) — plus the backend choice (COMM vs COMM-P) into a
+// per-worker sim::CommPlan for the timing engine, and constructs the
+// matching functional codec/backend objects for the real data path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "comm/backend.hpp"
+#include "comm/payload.hpp"
+#include "sim/timing.hpp"
+
+namespace hcc::comm {
+
+enum class BackendKind { kShm, kBroker };
+
+/// User-facing communication configuration.
+struct CommConfig {
+  bool reduce_payload = true;  ///< Strategy 1: Q-only / P-only
+  bool fp16 = true;            ///< Strategy 2: binary16 wire encoding
+  std::uint32_t streams = 1;   ///< Strategy 3: requested pipeline depth;
+                               ///< capped by each device's copy engines
+  bool sparse = false;         ///< "Strategy 4" (extension): transfer only
+                               ///< the Q rows the worker's slice touches —
+                               ///< attacks the dimension-bound cost the
+                               ///< paper's Section 4.6 identifies.  Adds a
+                               ///< 4-byte row index per transmitted row.
+  BackendKind backend = BackendKind::kShm;
+
+  // Timing-model constants, calibrated against Table 5 (see EXPERIMENTS.md):
+  /// Fraction of peak bus bandwidth COMM's single-copy path sustains.
+  double shm_bus_efficiency = 0.8;
+  /// How much slower COMM-P is than COMM at equal payload (extra copies,
+  /// kernel crossings, per-message overhead).
+  double broker_penalty = 6.67;
+  /// Above-linear FP16 gain the paper measures ("more data being cached").
+  double fp16_bus_bonus = 1.5;
+};
+
+/// Payload mode after applying (or not applying) Strategy 1.
+PayloadMode effective_mode(const CommConfig& config,
+                           const sim::DatasetShape& shape);
+
+/// Pipeline depth for a device: min(requested, copy engines).  Devices
+/// without a copy engine (plain CPUs) cannot overlap, per Section 3.4.
+std::uint32_t effective_streams(const CommConfig& config,
+                                const sim::DeviceSpec& device);
+
+/// Builds the timing plan for one worker-epoch.  `share` (the worker's
+/// nnz fraction) only matters when config.sparse is set: it sizes the
+/// touched-row estimate.
+sim::CommPlan make_comm_plan(const CommConfig& config,
+                             const sim::DatasetShape& shape,
+                             const sim::DeviceSpec& device,
+                             bool last_epoch = false, double share = 1.0);
+
+/// Functional objects matching the config.
+std::unique_ptr<Codec> make_codec(const CommConfig& config);
+std::unique_ptr<CommBackend> make_backend(const CommConfig& config);
+
+}  // namespace hcc::comm

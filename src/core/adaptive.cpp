@@ -1,0 +1,58 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/partition.hpp"
+
+namespace hcc::core {
+
+AdaptiveController::AdaptiveController(std::vector<double> initial_shares,
+                                       AdaptiveOptions options)
+    : shares_(std::move(initial_shares)), options_(options) {
+  if (shares_.empty()) throw std::invalid_argument("no workers");
+  if (options_.gain <= 0.0 || options_.gain > 1.0) {
+    throw std::invalid_argument("gain must be in (0, 1]");
+  }
+}
+
+bool AdaptiveController::observe(const std::vector<double>& compute_seconds) {
+  if (compute_seconds.size() != shares_.size()) {
+    throw std::invalid_argument("measurement size mismatch");
+  }
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return false;
+  }
+
+  // Spread over active workers only.
+  double lo = std::numeric_limits<double>::max();
+  double hi = 0.0;
+  double mean = 0.0;
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < shares_.size(); ++i) {
+    if (shares_[i] <= 0.0 || compute_seconds[i] <= 0.0) continue;
+    lo = std::min(lo, compute_seconds[i]);
+    hi = std::max(hi, compute_seconds[i]);
+    mean += compute_seconds[i];
+    ++active;
+  }
+  if (active < 2) return false;
+  mean /= static_cast<double>(active);
+  if ((hi - lo) / lo <= options_.spread_threshold) return false;
+
+  // Proportional fix: a worker running at time t should carry
+  // share * (mean / t) to land on the mean; damp by `gain`.
+  for (std::size_t i = 0; i < shares_.size(); ++i) {
+    if (shares_[i] <= 0.0 || compute_seconds[i] <= 0.0) continue;
+    const double target = shares_[i] * mean / compute_seconds[i];
+    shares_[i] = shares_[i] + options_.gain * (target - shares_[i]);
+  }
+  normalize_shares(shares_);
+  ++repartitions_;
+  cooldown_ = options_.cooldown_epochs;
+  return true;
+}
+
+}  // namespace hcc::core

@@ -1,0 +1,71 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hcc::core {
+
+namespace {
+constexpr double kGiga = 1e9;
+}
+
+double predicted_worker_seconds(const sim::DeviceSpec& device,
+                                const sim::DatasetShape& shape, double share,
+                                const sim::CommPlan& comm) {
+  const double bus_gbs =
+      sim::bus_bandwidth_gbs(device.bus) * comm.bus_efficiency;
+  const double pull_s = comm.pull_bytes / (bus_gbs * kGiga);
+  const double push_s = comm.push_bytes / (bus_gbs * kGiga);
+  const double comp_s = sim::compute_seconds(device, shape, share);
+  // With S async streams the pipeline exposes only ~1/S of the transfers
+  // (Figure 6); the rest hides under compute.
+  const double streams = std::max(1u, comm.streams);
+  return (pull_s + push_s) / streams + comp_s;
+}
+
+double predicted_sync_seconds(const sim::ServerSpec& server,
+                              const sim::CommPlan& comm) {
+  const double elements = comm.sync_bytes / 4.0;
+  return 3.0 * comm.sync_bytes / (server.mem_bandwidth_gbs * kGiga) +
+         elements / (server.compute_gflops * kGiga);
+}
+
+CostPrediction predict_epoch(const sim::EpochConfig& config, double lambda) {
+  CostPrediction prediction;
+  prediction.worker_seconds.reserve(config.workers.size());
+  double sync_total = 0.0;
+  for (const auto& worker : config.workers) {
+    prediction.worker_seconds.push_back(predicted_worker_seconds(
+        worker.device, config.shape, worker.share, worker.comm));
+    sync_total += predicted_sync_seconds(config.server, worker.comm);
+  }
+  prediction.max_worker_s =
+      prediction.worker_seconds.empty()
+          ? 0.0
+          : *std::max_element(prediction.worker_seconds.begin(),
+                              prediction.worker_seconds.end());
+  prediction.sync_s = sync_total;
+  prediction.sync_per_worker_s =
+      config.workers.empty() ? 0.0
+                             : sync_total / static_cast<double>(
+                                                config.workers.size());
+  prediction.ratio = sync_total > 0.0
+                         ? prediction.max_worker_s / sync_total
+                         : std::numeric_limits<double>::infinity();
+  prediction.sync_negligible = prediction.ratio >= lambda;
+  // Eq. 5: ignore T_sync when compute dominates by the lambda margin.
+  prediction.total_s = prediction.sync_negligible
+                           ? prediction.max_worker_s
+                           : prediction.max_worker_s + sync_total;
+  return prediction;
+}
+
+double worker_time_spread(const std::vector<double>& worker_seconds) {
+  if (worker_seconds.empty()) return 0.0;
+  const auto [lo, hi] =
+      std::minmax_element(worker_seconds.begin(), worker_seconds.end());
+  if (*lo <= 0.0) return 0.0;
+  return (*hi - *lo) / *lo;
+}
+
+}  // namespace hcc::core

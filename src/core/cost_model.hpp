@@ -1,0 +1,54 @@
+// The HCC-MF time cost model (Section 3.2, Eq. 1-5).
+//
+// One training epoch costs
+//   T = max_i { T_pull_i + T_c_i + T_push_i } + T_sync            (Eq. 1)
+// with
+//   T_i    ~ x_i * nnz * (16k+4) / B_i  +  2k(m+n) / B_bus_i      (Eq. 2)
+//   T_sync ~ 3 t k (m+n) / B_server                               (Eq. 3)
+// and becomes a piecewise function of whether synchronization is negligible:
+//   max{T_i}/T_sync >= lambda  ->  T = max{T_i}                   (Eq. 5)
+//   otherwise                  ->  T = max{T_i} + T_sync(x)
+// The lambda switch is what selects DP1 vs DP2 in the DataManager.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/timing.hpp"
+
+namespace hcc::core {
+
+/// Predicted epoch-cost decomposition for a candidate partition.
+struct CostPrediction {
+  std::vector<double> worker_seconds;  ///< T_i = pull + compute + push
+  double max_worker_s = 0.0;           ///< max_i T_i
+  double sync_s = 0.0;                 ///< T_sync (all workers' syncs)
+  double sync_per_worker_s = 0.0;      ///< one worker's share of T_sync
+  double total_s = 0.0;                ///< Eq. 5's T
+  double ratio = 0.0;                  ///< max{T_i} / T_sync
+  bool sync_negligible = true;         ///< ratio >= lambda
+};
+
+/// Predicted T_i of one worker (Eq. 2 plus the pull/push terms), using the
+/// same perf model the simulator uses but without jitter or queueing — this
+/// is the *model*, the simulator is the *measurement*.
+double predicted_worker_seconds(const sim::DeviceSpec& device,
+                                const sim::DatasetShape& shape, double share,
+                                const sim::CommPlan& comm);
+
+/// Predicted server time to merge one worker's push (Eq. 3 per-worker term).
+double predicted_sync_seconds(const sim::ServerSpec& server,
+                              const sim::CommPlan& comm);
+
+/// Evaluates the full piecewise model (Eq. 5) for a candidate partition.
+/// `lambda` is the negligibility threshold (the paper uses 10).
+CostPrediction predict_epoch(const sim::EpochConfig& config,
+                             double lambda = 10.0);
+
+/// Theorem 1's optimality check: a partition minimizes max{a_i x_i + b_i}
+/// iff all worker times are equal.  Returns the relative spread
+/// (max - min) / min of the predicted worker times; 0 means perfectly
+/// balanced.
+double worker_time_spread(const std::vector<double>& worker_seconds);
+
+}  // namespace hcc::core

@@ -1,0 +1,236 @@
+#include "core/data_manager.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace hcc::core {
+
+namespace {
+
+/// Expands a compacted per-active-worker vector back to platform size.
+std::vector<double> scatter(const std::vector<double>& compact,
+                            const std::vector<bool>& active,
+                            std::size_t size) {
+  std::vector<double> full(size, 0.0);
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (active[i]) full[i] = compact[j++];
+  }
+  return full;
+}
+
+std::vector<double> compact(const std::vector<double>& full,
+                            const std::vector<bool>& active) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (active[i]) out.push_back(full[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+DataManager::DataManager(sim::PlatformSpec platform, sim::DatasetShape shape,
+                         comm::CommConfig comm, DataManagerOptions options)
+    : platform_(std::move(platform)),
+      shape_(std::move(shape)),
+      comm_(comm),
+      options_(options) {}
+
+std::vector<double> DataManager::independent_seconds() const {
+  std::vector<double> seconds;
+  seconds.reserve(platform_.workers.size());
+  for (const auto& device : platform_.workers) {
+    seconds.push_back(sim::compute_seconds(device, shape_, /*share=*/1.0));
+  }
+  return seconds;
+}
+
+std::vector<double> DataManager::measure_compute(
+    const std::vector<double>& shares, std::uint64_t round) const {
+  sim::EpochConfig config;
+  config.shape = shape_;
+  config.server = platform_.server;
+  config.jitter = options_.measure_jitter;
+  config.seed = options_.seed * 1000003 + round;
+  for (std::size_t i = 0; i < platform_.workers.size(); ++i) {
+    sim::WorkerPlan wp;
+    wp.device = platform_.workers[i];
+    wp.share = shares[i];
+    if (wp.share > 0.0) {
+      wp.comm = comm::make_comm_plan(comm_, shape_, wp.device,
+                                     /*last_epoch=*/false, wp.share);
+    }
+    config.workers.push_back(std::move(wp));
+  }
+  const sim::EpochTiming timing = sim::simulate_epoch(config);
+  std::vector<double> seconds;
+  seconds.reserve(timing.workers.size());
+  for (const auto& w : timing.workers) seconds.push_back(w.compute_s);
+  return seconds;
+}
+
+sim::EpochConfig DataManager::epoch_config(const Plan& plan,
+                                           bool last_epoch) const {
+  sim::EpochConfig config;
+  config.shape = shape_;
+  config.server = platform_.server;
+  config.jitter = options_.measure_jitter;
+  config.seed = options_.seed;
+  for (std::size_t i = 0; i < platform_.workers.size(); ++i) {
+    sim::WorkerPlan wp;
+    wp.device = platform_.workers[i];
+    wp.share = plan.shares[i];
+    // Idle (pruned / zero-share) workers neither transfer nor synchronize.
+    if (wp.share > 0.0) {
+      wp.comm = comm::make_comm_plan(comm_, shape_, wp.device, last_epoch,
+                                     wp.share);
+    }
+    config.workers.push_back(std::move(wp));
+  }
+  return config;
+}
+
+double DataManager::simulated_epoch_seconds(const Plan& plan) const {
+  sim::EpochConfig cfg = epoch_config(plan);
+  cfg.jitter = 0.0;
+  return sim::simulate_epoch(cfg).epoch_s;
+}
+
+Plan DataManager::plan_masked(PartitionStrategy request,
+                              const std::vector<bool>& active) const {
+  const std::size_t p = platform_.workers.size();
+  Plan plan;
+  plan.requested = request;
+  plan.grid = shape_.m >= shape_.n ? data::GridKind::kRow
+                                   : data::GridKind::kColumn;
+  plan.payload = comm::effective_mode(comm_, shape_);
+
+  std::ostringstream why;
+  why << "grid=" << (plan.grid == data::GridKind::kRow ? "row" : "column")
+      << " payload=" << comm::payload_mode_name(plan.payload);
+  std::size_t active_count = 0;
+  for (bool a : active) active_count += a ? 1 : 0;
+  if (active_count < p) {
+    why << " active_workers=" << active_count << "/" << p;
+  }
+
+  // DP0 from independent-execution times (Eq. 6), over active workers.
+  const std::vector<double> iw = compact(independent_seconds(), active);
+  const std::vector<double> dp0 = dp0_partition(iw);
+
+  std::vector<bool> is_gpu_compact;
+  for (std::size_t i = 0; i < p; ++i) {
+    if (active[i]) {
+      is_gpu_compact.push_back(platform_.workers[i].cls ==
+                               sim::DeviceClass::kGpu);
+    }
+  }
+  std::uint64_t measure_round = 0;
+  const ComputeMeasure measure =
+      [&](const std::vector<double>& shares_compact) {
+        const auto full = scatter(shares_compact, active, p);
+        return compact(measure_compute(full, ++measure_round), active);
+      };
+
+  auto finish = [&](PartitionStrategy chosen,
+                    const std::vector<double>& shares_compact) {
+    plan.chosen = chosen;
+    plan.shares = scatter(shares_compact, active, p);
+    plan.prediction = predict_epoch(epoch_config(plan), options_.lambda);
+    why << " strategy=" << partition_strategy_name(chosen);
+    plan.explanation = why.str();
+    return plan;
+  };
+
+  switch (request) {
+    case PartitionStrategy::kEven:
+      return finish(PartitionStrategy::kEven, even_partition(iw.size()));
+    case PartitionStrategy::kDp0:
+      return finish(PartitionStrategy::kDp0, dp0);
+    default:
+      break;
+  }
+
+  // DP1 always runs first: it is both a final answer and DP2's input.
+  const Dp1Result dp1 = dp1_partition(dp0, is_gpu_compact, measure,
+                                      options_.dp1);
+  plan.dp1_rounds = dp1.rounds;
+  why << " dp1_rounds=" << dp1.rounds;
+
+  if (request == PartitionStrategy::kDp1) {
+    return finish(PartitionStrategy::kDp1, dp1.shares);
+  }
+
+  // The lambda rule (Eq. 5): is synchronization negligible at DP1's
+  // balanced partition?
+  Plan probe = plan;
+  probe.shares = scatter(dp1.shares, active, p);
+  const CostPrediction at_dp1 =
+      predict_epoch(epoch_config(probe), options_.lambda);
+  why << " maxTi/Tsync=" << at_dp1.ratio;
+
+  if (request == PartitionStrategy::kDp2 ||
+      (request == PartitionStrategy::kAuto && !at_dp1.sync_negligible)) {
+    // DP2 staggers worker *finish* times, so it needs each worker's fixed
+    // (share-independent) comm exposure alongside its compute time.
+    std::vector<double> fixed;
+    std::size_t compact_idx = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      if (!active[i]) continue;
+      // Comm exposure at the worker's DP1 share (sparse push scales with
+      // the assignment; dense payloads ignore the share argument).
+      fixed.push_back(predicted_worker_seconds(
+          platform_.workers[i], shape_, /*share=*/0.0,
+          comm::make_comm_plan(comm_, shape_, platform_.workers[i],
+                               /*last_epoch=*/false,
+                               dp1.shares[compact_idx])));
+      ++compact_idx;
+    }
+    return finish(PartitionStrategy::kDp2,
+                  dp2_partition(dp1.shares, dp1.measured_seconds,
+                                at_dp1.sync_per_worker_s, fixed));
+  }
+  return finish(PartitionStrategy::kDp1, dp1.shares);
+}
+
+Plan DataManager::plan(PartitionStrategy request) const {
+  const std::size_t p = platform_.workers.size();
+  std::vector<bool> active(p, true);
+  Plan best = plan_masked(request, active);
+  if (!options_.prune_unhelpful_workers) return best;
+
+  double best_epoch = simulated_epoch_seconds(best);
+  std::size_t active_count = p;
+  bool improved = true;
+  while (improved && active_count > 1) {
+    improved = false;
+    // Try dropping the slowest remaining worker first (most likely to be
+    // the one whose sync/comm outweighs its compute).
+    const auto iw = independent_seconds();
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < p; ++i) {
+      if (active[i]) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return iw[a] > iw[b]; });
+    for (std::size_t victim : order) {
+      std::vector<bool> candidate_mask = active;
+      candidate_mask[victim] = false;
+      const Plan candidate = plan_masked(request, candidate_mask);
+      const double epoch = simulated_epoch_seconds(candidate);
+      if (epoch < best_epoch * 0.995) {
+        best = candidate;
+        best_epoch = epoch;
+        active = candidate_mask;
+        --active_count;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace hcc::core

@@ -1,0 +1,224 @@
+#include "core/hccmf.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "data/grid.hpp"
+#include "mf/metrics.hpp"
+#include "util/log.hpp"
+
+namespace hcc::core {
+
+HccMf::HccMf(HccMfConfig config) : config_(std::move(config)) {
+  if (config_.platform.workers.empty()) {
+    config_.platform = sim::paper_workstation_hetero();
+  }
+}
+
+sim::DatasetShape HccMf::shape_of(const data::RatingMatrix& m) const {
+  sim::DatasetShape shape;
+  shape.name = config_.dataset_name;
+  shape.m = m.rows();
+  shape.n = m.cols();
+  shape.nnz = m.nnz();
+  shape.k = config_.sgd.k;
+  return shape;
+}
+
+Plan HccMf::plan_for(const sim::DatasetShape& shape) const {
+  DataManager manager(config_.platform, shape, config_.comm, config_.manager);
+  return manager.plan(config_.partition);
+}
+
+void HccMf::accumulate_timing(TrainReport& report, const DataManager& manager,
+                              const Plan& plan) {
+  const std::uint32_t epochs = config_.sgd.epochs;
+  report.epochs.reserve(epochs);
+
+  // Adaptive repartitioning (optional): track shares across epochs and
+  // rebalance when measured compute times drift apart.
+  Plan live_plan = plan;
+  std::optional<AdaptiveController> controller;
+  if (config_.adaptive_repartition) {
+    controller.emplace(plan.shares, config_.adaptive);
+  }
+
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    sim::EpochConfig cfg = manager.epoch_config(live_plan, e + 1 == epochs);
+    cfg.seed = config_.manager.seed + 17 * (e + 1);
+    if (config_.rate_disturbance) {
+      for (std::size_t w = 0; w < cfg.workers.size(); ++w) {
+        cfg.workers[w].rate_scale = config_.rate_disturbance(e, w);
+      }
+    }
+    EpochReport er;
+    er.epoch = e;
+    er.timing = sim::simulate_epoch(cfg);
+    er.virtual_s = er.timing.epoch_s;
+    report.total_virtual_s += er.virtual_s;
+    er.cumulative_virtual_s = report.total_virtual_s;
+    er.test_rmse = std::numeric_limits<double>::quiet_NaN();
+    for (const auto& w : er.timing.workers) {
+      report.comm_virtual_s += w.pull_s + w.push_s;
+    }
+    if (controller) {
+      std::vector<double> compute;
+      compute.reserve(er.timing.workers.size());
+      for (const auto& w : er.timing.workers) compute.push_back(w.compute_s);
+      if (controller->observe(compute)) {
+        live_plan.shares = controller->shares();
+      }
+    }
+    report.epochs.push_back(std::move(er));
+  }
+  if (controller) report.repartitions = controller->repartitions();
+}
+
+TrainReport HccMf::simulate(const sim::DatasetShape& shape) {
+  DataManager manager(config_.platform, shape, config_.comm, config_.manager);
+  TrainReport report;
+  report.plan = manager.plan(config_.partition);
+  accumulate_timing(report, manager, report.plan);
+  const double updates = static_cast<double>(shape.nnz) * config_.sgd.epochs;
+  report.updates_per_s =
+      report.total_virtual_s > 0.0 ? updates / report.total_virtual_s : 0.0;
+  report.ideal_updates_per_s = config_.platform.ideal_update_rate(shape);
+  report.utilization = report.ideal_updates_per_s > 0.0
+                           ? report.updates_per_s / report.ideal_updates_per_s
+                           : 0.0;
+  return report;
+}
+
+TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
+                         const data::RatingMatrix* test_ratings) {
+  // Column-grid case: transpose so the rest of the pipeline is always
+  // row-grid ("Transmitting P only" is Q-only on the transpose).
+  const bool transpose = train_ratings.cols() > train_ratings.rows();
+  data::RatingMatrix matrix =
+      transpose ? train_ratings.transposed() : train_ratings;
+  data::RatingMatrix test_local;
+  if (test_ratings != nullptr && transpose) {
+    test_local = test_ratings->transposed();
+    test_ratings = &test_local;
+  }
+
+  const sim::DatasetShape shape = shape_of(matrix);
+  DataManager manager(config_.platform, shape, config_.comm, config_.manager);
+
+  TrainReport report;
+  report.plan = manager.plan(config_.partition);
+  HCC_LOG_INFO() << "HCC-MF plan: " << report.plan.explanation;
+
+  // Step 2-3 of Figure 4: grid the data, hand each worker its slice.
+  const auto grid =
+      data::make_grid(matrix, data::GridKind::kRow, report.plan.shares);
+  auto slices =
+      data::assign_slices(std::move(matrix), data::GridKind::kRow, grid);
+
+  // Mean rating for model init.
+  double mean = 0.0;
+  std::size_t nnz = 0;
+  for (const auto& s : slices) {
+    for (const auto& e : s.entries()) mean += e.r;
+    nnz += s.nnz();
+  }
+  mean = nnz > 0 ? mean / static_cast<double>(nnz) : 1.0;
+
+  util::Rng rng(config_.sgd.seed);
+  mf::FactorModel model(shape.m, shape.n, shape.k);
+  model.init_random(rng, static_cast<float>(mean));
+  Server server(std::move(model), config_.comm);
+
+  // Per-item merge weights: worker w's fraction of each item's ratings.
+  // Items rated inside a single worker's slice merge at weight 1 (the
+  // serial update, exactly); contested items combine proportionally.
+  std::vector<std::vector<std::size_t>> item_counts;
+  std::vector<std::size_t> item_totals(shape.n, 0);
+  for (const auto& slice : slices) {
+    item_counts.push_back(slice.col_counts());
+    for (std::size_t i = 0; i < shape.n; ++i) {
+      item_totals[i] += item_counts.back()[i];
+    }
+  }
+
+  std::vector<TrainWorker> workers;
+  std::uint32_t max_streams = 1;
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const auto& device = config_.platform.workers[i];
+    const std::uint32_t streams =
+        comm::effective_streams(config_.comm, device);
+    max_streams = std::max(max_streams, streams);
+    workers.emplace_back(static_cast<std::uint32_t>(i), device.name,
+                         std::move(slices[i]), config_.comm, streams);
+    std::vector<float> weights(shape.n, 0.0f);
+    for (std::size_t item = 0; item < shape.n; ++item) {
+      if (item_totals[item] > 0) {
+        weights[item] = static_cast<float>(item_counts[i][item]) /
+                        static_cast<float>(item_totals[item]);
+      }
+    }
+    workers.back().set_item_weights(std::move(weights));
+  }
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (config_.host_threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(config_.host_threads);
+  }
+
+  // Timing runs alongside the functional loop but is fully decoupled.
+  accumulate_timing(report, manager, report.plan);
+
+  const bool quantizing_pq_each_epoch =
+      config_.comm.fp16 &&
+      comm::effective_mode(config_.comm, shape) == comm::PayloadMode::kPQ;
+
+  float lr = config_.sgd.learn_rate;
+  for (std::uint32_t epoch = 0; epoch < config_.sgd.epochs; ++epoch) {
+    // pull -> compute -> push, chunked per worker by its stream depth
+    // (Figure 6's pipelines; chunk boundaries act as the async syncs).
+    for (std::uint32_t chunk = 0; chunk < max_streams; ++chunk) {
+      for (auto& w : workers) {
+        if (chunk < w.streams()) w.pull(server);
+      }
+      for (auto& w : workers) {
+        if (chunk < w.streams()) {
+          w.compute_chunk(server, chunk, lr, config_.sgd.reg_p,
+                          config_.sgd.reg_q, pool.get());
+        }
+      }
+      for (auto& w : workers) {
+        if (chunk < w.streams()) w.push(server);
+      }
+    }
+    if (quantizing_pq_each_epoch) server.roundtrip_p_through_codec();
+    lr *= config_.sgd.lr_decay;
+
+    if (test_ratings != nullptr && config_.evaluate_each_epoch) {
+      report.epochs[epoch].test_rmse = mf::rmse(server.model(), *test_ratings);
+    }
+  }
+  // The final push transmits P as well (Strategy 1's closing P&Q push).
+  if (config_.comm.fp16 && !quantizing_pq_each_epoch) {
+    server.roundtrip_p_through_codec();
+  }
+  if (test_ratings != nullptr && config_.evaluate_each_epoch &&
+      !report.epochs.empty()) {
+    report.epochs.back().test_rmse = mf::rmse(server.model(), *test_ratings);
+  }
+
+  for (const auto& w : workers) report.comm_totals += w.comm_stats();
+
+  const double updates = static_cast<double>(shape.nnz) * config_.sgd.epochs;
+  report.updates_per_s =
+      report.total_virtual_s > 0.0 ? updates / report.total_virtual_s : 0.0;
+  report.ideal_updates_per_s = config_.platform.ideal_update_rate(shape);
+  report.utilization = report.ideal_updates_per_s > 0.0
+                           ? report.updates_per_s / report.ideal_updates_per_s
+                           : 0.0;
+  report.model = std::move(server.model());
+  return report;
+}
+
+}  // namespace hcc::core

@@ -1,0 +1,109 @@
+// HCC-MF: the public facade.
+//
+// Two entry points:
+//  - train():    functional collaborative training on a real rating matrix —
+//                real SGD math, real COMM transfers, real convergence —
+//                with every epoch also timed on the virtual platform.
+//  - simulate(): timing-only run for paper-scale dataset shapes (regenerates
+//                the evaluation tables/figures without materializing 100M
+//                ratings).
+//
+// Both share the same DataManager plan, so the partition / strategy
+// decisions are identical across the functional and timing paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/strategy.hpp"
+#include "core/adaptive.hpp"
+#include "core/data_manager.hpp"
+#include "core/server.hpp"
+#include "core/worker.hpp"
+#include "data/datasets.hpp"
+#include "mf/model.hpp"
+#include "sim/platform.hpp"
+
+namespace hcc::core {
+
+/// Everything configurable about a run.
+struct HccMfConfig {
+  mf::SgdConfig sgd;
+  comm::CommConfig comm;
+  PartitionStrategy partition = PartitionStrategy::kAuto;
+  sim::PlatformSpec platform;
+  DataManagerOptions manager;
+  /// Dataset name for the simulator's calibration lookup ("netflix", "r1",
+  /// ...; scaled names like "netflix@0.05" match their base).  Empty uses
+  /// the analytic device model.
+  std::string dataset_name;
+  /// Host threads for the functional workers' ASGD (0 = single-threaded).
+  std::uint32_t host_threads = 0;
+  /// Evaluate test RMSE after every epoch (functional runs only).
+  bool evaluate_each_epoch = true;
+
+  /// Runtime adaptation (extension, see core/adaptive.hpp): rebalance the
+  /// partition between epochs when measured compute times drift apart.
+  bool adaptive_repartition = false;
+  AdaptiveOptions adaptive;
+  /// Test hook for the timing layer: per-(epoch, worker) update-rate scale
+  /// emulating throttling / co-tenancy (1.0 = nominal; empty = none).
+  std::function<double(std::uint32_t epoch, std::size_t worker)>
+      rate_disturbance;
+};
+
+/// Per-epoch record.
+struct EpochReport {
+  std::uint32_t epoch = 0;
+  double virtual_s = 0.0;             ///< simulated wall time of this epoch
+  double cumulative_virtual_s = 0.0;
+  double test_rmse = 0.0;             ///< NaN when not evaluated
+  sim::EpochTiming timing;            ///< full pull/compute/push/sync detail
+};
+
+/// The result of a run.
+struct TrainReport {
+  Plan plan;
+  std::vector<EpochReport> epochs;
+  double total_virtual_s = 0.0;
+  double updates_per_s = 0.0;        ///< "computing power" (Eq. 8)
+  double ideal_updates_per_s = 0.0;  ///< sum of workers' IW rates (Table 4)
+  double utilization = 0.0;          ///< updates_per_s / ideal
+  double comm_virtual_s = 0.0;       ///< cumulative pull+push time (Table 5)
+  comm::TransferStats comm_totals;   ///< functional wire accounting
+  std::uint32_t repartitions = 0;    ///< adaptive rebalances performed
+  std::optional<mf::FactorModel> model;  ///< final model (functional runs)
+};
+
+/// The framework.
+class HccMf {
+ public:
+  explicit HccMf(HccMfConfig config);
+
+  /// Functional collaborative training.  `test` (optional) supplies the
+  /// held-out ratings for per-epoch RMSE.  If the matrix has more columns
+  /// than rows it is transposed internally (column grid / "Transmitting P
+  /// only"), transparently to the caller.
+  TrainReport train(const data::RatingMatrix& train_ratings,
+                    const data::RatingMatrix* test_ratings = nullptr);
+
+  /// Timing-only run over a dataset shape (paper-scale experiments).
+  TrainReport simulate(const sim::DatasetShape& shape);
+
+  /// The resolved plan for a shape, without running anything.
+  Plan plan_for(const sim::DatasetShape& shape) const;
+
+  const HccMfConfig& config() const noexcept { return config_; }
+
+ private:
+  sim::DatasetShape shape_of(const data::RatingMatrix& m) const;
+  void accumulate_timing(TrainReport& report, const DataManager& manager,
+                         const Plan& plan);
+
+  HccMfConfig config_;
+};
+
+}  // namespace hcc::core

@@ -1,0 +1,25 @@
+// Human-readable rendering of train reports.
+//
+// Examples and downstream tools want a consistent one-look summary of a
+// run: the plan, the convergence trace, the throughput/utilization and the
+// wire accounting.  This keeps that formatting in one tested place instead
+// of re-implemented per example.
+#pragma once
+
+#include <string>
+
+#include "core/hccmf.hpp"
+
+namespace hcc::core {
+
+/// Multi-line summary of a run: plan line, first/best/last RMSE (when
+/// evaluated), total virtual time, computing power + utilization, wire
+/// traffic, repartition count.
+std::string format_report(const TrainReport& report);
+
+/// One row per epoch: "epoch  rmse  epoch_s  cumulative_s" as an aligned
+/// table.  `stride` subsamples long runs (1 = every epoch).
+std::string format_epoch_table(const TrainReport& report,
+                               std::uint32_t stride = 1);
+
+}  // namespace hcc::core

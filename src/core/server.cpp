@@ -1,0 +1,48 @@
+#include "core/server.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace hcc::core {
+
+Server::Server(mf::FactorModel global, const comm::CommConfig& config)
+    : global_(std::move(global)), codec_(comm::make_codec(config)) {}
+
+void Server::sync_q(std::span<const float> pushed,
+                    std::span<const float> snapshot, float weight) {
+  std::span<float> q = global_.q_data();
+  assert(pushed.size() == q.size() && snapshot.size() == q.size());
+  // Eq. 3's three read/write memory operations and one multiply-add per
+  // feature parameter.
+  for (std::size_t j = 0; j < q.size(); ++j) {
+    q[j] += weight * (pushed[j] - snapshot[j]);
+  }
+  ++sync_count_;
+}
+
+void Server::sync_q(std::span<const float> pushed,
+                    std::span<const float> snapshot,
+                    std::span<const float> item_weights) {
+  std::span<float> q = global_.q_data();
+  assert(pushed.size() == q.size() && snapshot.size() == q.size());
+  const std::uint32_t k = global_.k();
+  assert(item_weights.size() * k == q.size());
+  for (std::size_t item = 0; item < item_weights.size(); ++item) {
+    const float w = item_weights[item];
+    if (w == 0.0f) continue;
+    const std::size_t base = item * k;
+    for (std::uint32_t f = 0; f < k; ++f) {
+      q[base + f] += w * (pushed[base + f] - snapshot[base + f]);
+    }
+  }
+  ++sync_count_;
+}
+
+void Server::roundtrip_p_through_codec() {
+  std::span<float> p = global_.p_data();
+  std::vector<std::byte> wire(codec_->encoded_bytes(p.size()));
+  codec_->encode(p, wire);
+  codec_->decode(wire, p);
+}
+
+}  // namespace hcc::core

@@ -1,0 +1,68 @@
+// The parameter server (Section 3.1 / 3.5).
+//
+// Owns the global feature matrices and the synchronization step: every
+// worker push is merged into the global Q with one multiply-add per feature
+// against the snapshot that worker pulled — this resolves the write-after-
+// write races between workers that share Q columns (the reason the paper's
+// design keeps a synchronizing server at all).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "comm/strategy.hpp"
+#include "mf/model.hpp"
+
+namespace hcc::core {
+
+/// Functional parameter server.
+class Server {
+ public:
+  /// Takes ownership of the initialized global model.
+  Server(mf::FactorModel global, const comm::CommConfig& config);
+
+  mf::FactorModel& model() noexcept { return global_; }
+  const mf::FactorModel& model() const noexcept { return global_; }
+
+  const comm::Codec& codec() const noexcept { return *codec_; }
+
+  /// Merges one worker's pushed Q into the global Q with one multiply-add
+  /// per feature parameter (Eq. 3's sync cost):
+  ///   global[j] += weight * (pushed[j] - snapshot[j])
+  /// where `snapshot` is the Q state that worker received at its pull and
+  /// `weight` is the worker's data share x_i.  Share-weighting makes the
+  /// merged Q a convex combination of the workers' results, which resolves
+  /// the write-after-write races between workers that trained the same Q
+  /// rows concurrently (the reason the paper keeps a synchronizing server)
+  /// without over-applying popular rows' gradients p-fold.
+  void sync_q(std::span<const float> pushed, std::span<const float> snapshot,
+              float weight = 1.0f);
+
+  /// Merge with per-item weights (one weight per Q row, i.e. per item):
+  ///   global[item][f] += item_weights[item] * (pushed - snapshot)[item][f]
+  /// The DataManager derives each worker's item weight from its share of
+  /// that item's ratings, so an item rated only inside one worker's row
+  /// slice merges at weight 1 (exactly the serial update), while items
+  /// contested by several workers combine proportionally to their data.
+  /// Still Eq. 3's one multiply-add per parameter — the weights are
+  /// precomputed once per training run (the grid is static).
+  void sync_q(std::span<const float> pushed, std::span<const float> snapshot,
+              std::span<const float> item_weights);
+
+  /// Emulates transmitting P through the wire codec (the final P&Q push):
+  /// every P value is replaced by its encode/decode round trip, so FP16's
+  /// quantization shows up in the delivered model exactly once, like the
+  /// real system.
+  void roundtrip_p_through_codec();
+
+  /// Number of sync_q merges performed (tests assert one per worker-push).
+  std::uint64_t sync_count() const noexcept { return sync_count_; }
+
+ private:
+  mf::FactorModel global_;
+  std::unique_ptr<comm::Codec> codec_;
+  std::uint64_t sync_count_ = 0;
+};
+
+}  // namespace hcc::core

@@ -1,0 +1,117 @@
+#include "core/worker.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hcc::core {
+
+TrainWorker::TrainWorker(std::uint32_t id, std::string device_name,
+                         data::RatingMatrix slice,
+                         const comm::CommConfig& config, std::uint32_t streams)
+    : id_(id),
+      device_name_(std::move(device_name)),
+      slice_(std::move(slice)),
+      streams_(std::max(1u, streams)),
+      sparse_(config.sparse),
+      backend_(comm::make_backend(config)) {
+  if (sparse_) {
+    const auto counts = slice_.col_counts();
+    for (std::uint32_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] > 0) touched_.push_back(i);
+    }
+  }
+}
+
+void TrainWorker::gather_touched(std::span<const float> q,
+                                 std::vector<float>& packed,
+                                 std::uint32_t k) const {
+  packed.resize(touched_.size() * k);
+  for (std::size_t t = 0; t < touched_.size(); ++t) {
+    const float* src = &q[std::size_t(touched_[t]) * k];
+    std::copy(src, src + k, &packed[t * k]);
+  }
+}
+
+void TrainWorker::scatter_touched(const std::vector<float>& packed,
+                                  std::span<float> q,
+                                  std::uint32_t k) const {
+  for (std::size_t t = 0; t < touched_.size(); ++t) {
+    const float* src = &packed[t * k];
+    std::copy(src, src + k, &q[std::size_t(touched_[t]) * k]);
+  }
+}
+
+void TrainWorker::pull(Server& server) {
+  const std::span<const float> global_q = server.model().q_data();
+  if (local_q_.size() != global_q.size()) {
+    local_q_.resize(global_q.size());
+    snapshot_q_.resize(global_q.size());
+    push_staging_.resize(global_q.size());
+  }
+  if (sparse_) {
+    // Strategy 4: only the touched Q rows cross the wire.
+    const std::uint32_t k = server.model().k();
+    gather_touched(global_q, packed_send_, k);
+    packed_recv_.resize(packed_send_.size());
+    backend_->transfer(packed_send_, packed_recv_, server.codec());
+    scatter_touched(packed_recv_, local_q_, k);
+  } else {
+    backend_->transfer(global_q, local_q_, server.codec());
+  }
+  // The snapshot is what this worker *received* (post-codec), so the later
+  // delta merge cancels the pull's quantization exactly.  Under sparse
+  // push the untouched rows copy local (stale) values: their delta is then
+  // exactly zero, so they neither travel nor merge.
+  std::copy(local_q_.begin(), local_q_.end(), snapshot_q_.begin());
+}
+
+void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
+                                float reg_p, float reg_q,
+                                util::ThreadPool* pool) {
+  assert(chunk < streams_);
+  assert(!local_q_.empty() && "pull() must precede compute_chunk()");
+  mf::FactorModel& model = server.model();
+  const std::uint32_t k = model.k();
+  const auto entries = slice_.entries();
+  const std::size_t per_chunk = (entries.size() + streams_ - 1) / streams_;
+  const std::size_t lo = std::min(entries.size(), chunk * per_chunk);
+  const std::size_t hi = std::min(entries.size(), lo + per_chunk);
+
+  auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const auto& e = entries[idx];
+      // P row: exclusive to this worker (row grid) -> global in place.
+      // Q row: private local copy, merged at push.
+      mf::sgd_update(model.p(e.u), &local_q_[std::size_t(e.i) * k], k, e.r,
+                     lr, reg_p, reg_q);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(lo, hi, body);
+  } else {
+    body(lo, hi);
+  }
+}
+
+void TrainWorker::push(Server& server) {
+  assert(!local_q_.empty() && "pull() must precede push()");
+  if (sparse_) {
+    const std::uint32_t k = server.model().k();
+    gather_touched(local_q_, packed_send_, k);
+    packed_recv_.resize(packed_send_.size());
+    backend_->transfer(packed_send_, packed_recv_, server.codec());
+    // Untouched rows carry the snapshot, so their merge delta is zero.
+    std::copy(snapshot_q_.begin(), snapshot_q_.end(), push_staging_.begin());
+    scatter_touched(packed_recv_, push_staging_, k);
+  } else {
+    backend_->transfer(local_q_, push_staging_, server.codec());
+  }
+  if (!item_weights_.empty()) {
+    server.sync_q(push_staging_, snapshot_q_,
+                  std::span<const float>(item_weights_));
+  } else {
+    server.sync_q(push_staging_, snapshot_q_, sync_weight_);
+  }
+}
+
+}  // namespace hcc::core

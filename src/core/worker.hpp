@@ -1,0 +1,96 @@
+// Functional worker (Section 3.1's steps 5-7).
+//
+// A worker owns a contiguous row slice of the rating matrix (its grid
+// assignment), a private local copy of Q, and its own COMM channel to the
+// server.  One epoch is pull -> asynchronous SGD over the slice -> push.
+// P rows inside the slice are exclusive to this worker under a row grid, so
+// it updates the global P in place — exactly why "Transmitting Q only"
+// loses nothing (Section 3.4, Strategy 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/strategy.hpp"
+#include "core/server.hpp"
+#include "data/rating_matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hcc::core {
+
+/// One collaborative-computing worker (CPU or GPU role; the role only
+/// matters to the timing layer — functionally both run the same ASGD).
+class TrainWorker {
+ public:
+  /// `slice` holds this worker's ratings (global coordinates); `streams`
+  /// chunks the epoch into that many pull-compute-push pipeline stages
+  /// (Strategy 3's functional effect: fresher Q, more sync rounds).
+  TrainWorker(std::uint32_t id, std::string device_name,
+              data::RatingMatrix slice, const comm::CommConfig& config,
+              std::uint32_t streams = 1);
+
+  std::uint32_t id() const noexcept { return id_; }
+  const std::string& device_name() const noexcept { return device_name_; }
+  std::size_t assigned_nnz() const noexcept { return slice_.nnz(); }
+  std::uint32_t streams() const noexcept { return streams_; }
+
+  /// Items this worker's slice actually rates; under sparse push (see
+  /// comm::CommConfig::sparse) only these Q rows travel.
+  std::size_t touched_items() const noexcept { return touched_.size(); }
+
+  /// Pulls the global Q through this worker's COMM channel (one wire copy)
+  /// and snapshots it for the later delta merge.
+  void pull(Server& server);
+
+  /// Runs ASGD over chunk `chunk` (of `streams` chunks) of the slice:
+  /// updates global P rows in place and the local Q copy.  `pool` provides
+  /// the worker's thread pool (nullptr = single-threaded).
+  void compute_chunk(Server& server, std::uint32_t chunk, float lr,
+                     float reg_p, float reg_q, util::ThreadPool* pool);
+
+  /// Pushes the local Q through the COMM channel and has the server merge
+  /// the delta against this worker's pull snapshot, weighted by this
+  /// worker's data share (see Server::sync_q).
+  void push(Server& server);
+
+  /// Sets the sync merge weight (the worker's data share x_i; default 1).
+  void set_sync_weight(float weight) noexcept { sync_weight_ = weight; }
+  float sync_weight() const noexcept { return sync_weight_; }
+
+  /// Sets per-item merge weights (this worker's fraction of each item's
+  /// ratings); takes precedence over the scalar weight.  See
+  /// Server::sync_q(pushed, snapshot, item_weights).
+  void set_item_weights(std::vector<float> weights) {
+    item_weights_ = std::move(weights);
+  }
+
+  /// Wire-transfer accounting for this worker's channel.
+  const comm::TransferStats& comm_stats() const { return backend_->stats(); }
+
+ private:
+  /// Gathers this worker's touched Q rows into `packed`, or scatters them
+  /// back; the sparse-push wire format (Strategy 4, extension).
+  void gather_touched(std::span<const float> q, std::vector<float>& packed,
+                      std::uint32_t k) const;
+  void scatter_touched(const std::vector<float>& packed, std::span<float> q,
+                       std::uint32_t k) const;
+
+  std::uint32_t id_;
+  std::string device_name_;
+  data::RatingMatrix slice_;
+  std::uint32_t streams_;
+  bool sparse_ = false;
+  std::vector<std::uint32_t> touched_;  ///< items this slice rates (sparse)
+  float sync_weight_ = 1.0f;
+  std::vector<float> item_weights_;
+  std::unique_ptr<comm::CommBackend> backend_;
+  std::vector<float> local_q_;
+  std::vector<float> snapshot_q_;
+  std::vector<float> push_staging_;
+  std::vector<float> packed_send_;
+  std::vector<float> packed_recv_;
+};
+
+}  // namespace hcc::core

@@ -1,0 +1,90 @@
+#include "data/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hcc::data {
+
+namespace {
+constexpr std::array<char, 4> kMagic = {'H', 'C', 'C', 'M'};
+}
+
+bool save_text(const RatingMatrix& matrix, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const auto& e : matrix.entries()) {
+    out << e.u << ' ' << e.i << ' ' << e.r << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+RatingMatrix load_text(const std::string& path, std::uint32_t rows,
+                       std::uint32_t cols) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<Rating> entries;
+  std::uint32_t max_u = 0;
+  std::uint32_t max_i = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    Rating e;
+    if (!(ls >> e.u >> e.i >> e.r)) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": malformed rating line");
+    }
+    max_u = std::max(max_u, e.u);
+    max_i = std::max(max_i, e.i);
+    entries.push_back(e);
+  }
+  if (rows == 0 || cols == 0) {
+    rows = max_u + 1;
+    cols = max_i + 1;
+  } else if (max_u >= rows || max_i >= cols) {
+    throw std::runtime_error(path + ": entry outside declared dimensions");
+  }
+  return RatingMatrix(rows, cols, std::move(entries));
+}
+
+bool save_binary(const RatingMatrix& matrix, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint32_t rows = matrix.rows();
+  const std::uint32_t cols = matrix.cols();
+  const std::uint64_t nnz = matrix.nnz();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof rows);
+  out.write(reinterpret_cast<const char*>(&cols), sizeof cols);
+  out.write(reinterpret_cast<const char*>(&nnz), sizeof nnz);
+  out.write(reinterpret_cast<const char*>(matrix.entries().data()),
+            static_cast<std::streamsize>(nnz * sizeof(Rating)));
+  return static_cast<bool>(out);
+}
+
+RatingMatrix load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (magic != kMagic) throw std::runtime_error(path + ": bad magic");
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::uint64_t nnz = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof rows);
+  in.read(reinterpret_cast<char*>(&cols), sizeof cols);
+  in.read(reinterpret_cast<char*>(&nnz), sizeof nnz);
+  if (!in) throw std::runtime_error(path + ": truncated header");
+  std::vector<Rating> entries(nnz);
+  in.read(reinterpret_cast<char*>(entries.data()),
+          static_cast<std::streamsize>(nnz * sizeof(Rating)));
+  if (!in) throw std::runtime_error(path + ": truncated entries");
+  return RatingMatrix(rows, cols, std::move(entries));
+}
+
+}  // namespace hcc::data

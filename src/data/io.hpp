@@ -1,0 +1,28 @@
+// Plain-text and binary serialization for rating matrices.
+//
+// Text format is the conventional "u i r" triple per line (what the public
+// Netflix/MovieLens tooling uses); binary format is a small header plus the
+// raw entry array for fast reload of generated datasets.
+#pragma once
+
+#include <string>
+
+#include "data/rating_matrix.hpp"
+
+namespace hcc::data {
+
+/// Writes "u i r" lines.  Returns false on IO failure.
+bool save_text(const RatingMatrix& matrix, const std::string& path);
+
+/// Reads "u i r" lines; infers dimensions from the max indices unless both
+/// `rows` and `cols` are nonzero.  Throws std::runtime_error on parse errors.
+RatingMatrix load_text(const std::string& path, std::uint32_t rows = 0,
+                       std::uint32_t cols = 0);
+
+/// Writes the binary format (magic "HCCM", dims, nnz, raw entries).
+bool save_binary(const RatingMatrix& matrix, const std::string& path);
+
+/// Reads the binary format.  Throws std::runtime_error on a bad header.
+RatingMatrix load_binary(const std::string& path);
+
+}  // namespace hcc::data

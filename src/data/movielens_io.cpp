@@ -1,0 +1,110 @@
+#include "data/movielens_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hcc::data {
+
+namespace {
+
+/// Splits one CSV line on commas (MovieLens fields never contain commas).
+std::vector<std::string_view> split_csv(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+std::uint64_t parse_u64(std::string_view field, const std::string& context) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    throw std::runtime_error(context + ": bad integer field '" +
+                             std::string(field) + "'");
+  }
+  return value;
+}
+
+float parse_rating(std::string_view field, const std::string& context) {
+  // std::from_chars for float is fine on GCC 12; keep strtof fallback-free.
+  float value = 0.0f;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    throw std::runtime_error(context + ": bad rating field '" +
+                             std::string(field) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+MovieLensData load_movielens_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+
+  MovieLensData out;
+  std::unordered_map<std::uint64_t, std::uint32_t> user_map;
+  std::unordered_map<std::uint64_t, std::uint32_t> item_map;
+  std::vector<Rating> entries;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    // Header: "userId,movieId,rating,timestamp" (any casing).
+    if (line_no == 1 && (line[0] == 'u' || line[0] == 'U')) continue;
+    const auto fields = split_csv(line);
+    if (fields.size() < 3) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": expected at least 3 CSV fields");
+    }
+    const std::string context = path + ":" + std::to_string(line_no);
+    const std::uint64_t user = parse_u64(fields[0], context);
+    const std::uint64_t item = parse_u64(fields[1], context);
+    const float rating = parse_rating(fields[2], context);
+
+    const auto [uit, u_new] = user_map.try_emplace(
+        user, static_cast<std::uint32_t>(out.user_ids.size()));
+    if (u_new) out.user_ids.push_back(user);
+    const auto [iit, i_new] = item_map.try_emplace(
+        item, static_cast<std::uint32_t>(out.item_ids.size()));
+    if (i_new) out.item_ids.push_back(item);
+    entries.push_back(Rating{uit->second, iit->second, rating});
+  }
+  out.ratings = RatingMatrix(static_cast<std::uint32_t>(out.user_ids.size()),
+                             static_cast<std::uint32_t>(out.item_ids.size()),
+                             std::move(entries));
+  return out;
+}
+
+bool save_movielens_csv(const RatingMatrix& ratings,
+                        const std::vector<std::uint64_t>& user_ids,
+                        const std::vector<std::uint64_t>& item_ids,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "userId,movieId,rating,timestamp\n";
+  for (const auto& e : ratings.entries()) {
+    const std::uint64_t user =
+        e.u < user_ids.size() ? user_ids[e.u] : e.u;
+    const std::uint64_t item =
+        e.i < item_ids.size() ? item_ids[e.i] : e.i;
+    out << user << ',' << item << ',' << e.r << ",0\n";
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace hcc::data

@@ -1,0 +1,34 @@
+// Loader for the MovieLens ratings.csv format (and close variants):
+//   userId,movieId,rating,timestamp
+// with an optional header line, 1-based sparse ids, fractional ratings.
+// Real MovieLens ids are sparse (movieId up to ~131k with ~27k distinct),
+// so the loader densifies both id spaces and returns the mappings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/rating_matrix.hpp"
+
+namespace hcc::data {
+
+/// The densified dataset plus the original-id mappings.
+struct MovieLensData {
+  RatingMatrix ratings{0, 0};
+  std::vector<std::uint64_t> user_ids;  ///< dense row -> original userId
+  std::vector<std::uint64_t> item_ids;  ///< dense col -> original movieId
+};
+
+/// Parses a ratings.csv-style file.  Throws std::runtime_error on malformed
+/// rows (bad field count, non-numeric ids/ratings).
+MovieLensData load_movielens_csv(const std::string& path);
+
+/// Writes a matrix back out in the same CSV format (timestamp written as 0;
+/// ids mapped through the provided tables, or identity when empty).
+bool save_movielens_csv(const RatingMatrix& ratings,
+                        const std::vector<std::uint64_t>& user_ids,
+                        const std::vector<std::uint64_t>& item_ids,
+                        const std::string& path);
+
+}  // namespace hcc::data

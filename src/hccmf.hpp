@@ -1,0 +1,26 @@
+// Umbrella header: everything a typical HCC-MF user needs.
+//
+//   #include "hccmf.hpp"
+//   hcc::core::HccMf framework(config);
+//
+// Individual subsystem headers remain includable on their own; this header
+// exists for quick starts and examples.
+#pragma once
+
+// Substrates
+#include "data/datasets.hpp"       // dataset catalogue + generators
+#include "data/io.hpp"             // text/binary rating IO
+#include "data/movielens_io.hpp"   // MovieLens ratings.csv
+#include "mf/metrics.hpp"          // RMSE / objective
+#include "mf/model.hpp"            // FactorModel + SGD kernel
+#include "mf/model_io.hpp"         // model serialization
+#include "mf/recommend.hpp"        // top-N queries, ranking metrics
+#include "mf/trainer.hpp"          // baseline trainers
+
+// The framework
+#include "core/hccmf.hpp"          // HccMf facade
+#include "core/tuner.hpp"          // comm auto-tuner
+#include "sim/platform.hpp"        // virtual platforms
+
+// Extensions
+#include "cluster/hierarchical.hpp"  // multi-node two-level HCC

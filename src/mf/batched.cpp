@@ -1,0 +1,45 @@
+#include "mf/batched.hpp"
+
+#include <algorithm>
+
+namespace hcc::mf {
+
+void BatchedTrainer::train_epoch(FactorModel& model,
+                                 const data::RatingMatrix& ratings) {
+  if (cached_data_ != ratings.entries().data() ||
+      cached_nnz_ != ratings.nnz()) {
+    const auto entries = ratings.entries();
+    const std::size_t per_batch =
+        (entries.size() + batches_ - 1) / batches_;
+    sorted_batches_.clear();
+    for (std::size_t lo = 0; lo < entries.size(); lo += per_batch) {
+      const std::size_t hi = std::min(entries.size(), lo + per_batch);
+      std::vector<data::Rating> batch(entries.begin() + lo,
+                                      entries.begin() + hi);
+      std::sort(batch.begin(), batch.end(),
+                [](const data::Rating& a, const data::Rating& b) {
+                  return a.u != b.u ? a.u < b.u : a.i < b.i;
+                });
+      sorted_batches_.push_back(std::move(batch));
+    }
+    cached_data_ = entries.data();
+    cached_nnz_ = entries.size();
+  }
+
+  const std::uint32_t k = model.k();
+  const float lr = lr_;
+  const float reg_p = config_.reg_p;
+  const float reg_q = config_.reg_q;
+  for (const auto& batch : sorted_batches_) {
+    // One "kernel launch": pool threads take slices Hogwild-style.
+    pool_.parallel_for(0, batch.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t idx = lo; idx < hi; ++idx) {
+        const auto& e = batch[idx];
+        sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p, reg_q);
+      }
+    });
+  }
+  decay_lr();
+}
+
+}  // namespace hcc::mf

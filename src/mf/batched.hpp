@@ -1,0 +1,45 @@
+// CuMF_SGD-style batched SGD (Xie et al., HPDC 2017) — the paper's GPU
+// baseline schedule, reproduced on host threads.
+//
+// CuMF_SGD launches kernels that let many warps grab consecutive slices of
+// the entry array and update the shared model without locks; the paper's
+// modification iii additionally block-sorts entries by row inside each batch
+// to improve cache hit rate.  Functionally this is Hogwild with a batch-
+// sequential outer loop (one batch = one kernel launch) and sorted locality
+// inside batches — exactly what we implement, so the convergence behaviour
+// (including occasional lost updates) matches the GPU schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mf/trainer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hcc::mf {
+
+/// Batch-sequential lock-free SGD with in-batch row sorting.
+class BatchedTrainer final : public Trainer {
+ public:
+  /// `batches` outer launches per epoch; `pool` plays the role of the GPU's
+  /// thread blocks inside one launch.
+  BatchedTrainer(const SgdConfig& config, util::ThreadPool& pool,
+                 std::uint32_t batches = 8)
+      : Trainer(config), pool_(pool), batches_(std::max(1u, batches)) {}
+
+  void train_epoch(FactorModel& model,
+                   const data::RatingMatrix& ratings) override;
+
+  std::string name() const override { return "cumf-batched"; }
+
+ private:
+  util::ThreadPool& pool_;
+  std::uint32_t batches_;
+
+  // Cached row-sorted batch copies (the "block sorting by row" preprocess).
+  const void* cached_data_ = nullptr;
+  std::size_t cached_nnz_ = 0;
+  std::vector<std::vector<data::Rating>> sorted_batches_;
+};
+
+}  // namespace hcc::mf

@@ -1,0 +1,62 @@
+#include "mf/biased.hpp"
+
+#include <cmath>
+
+namespace hcc::mf {
+
+BiasedModel::BiasedModel(std::uint32_t users, std::uint32_t items,
+                         std::uint32_t k)
+    : factors_(users, items, k),
+      user_bias_(users, 0.0f),
+      item_bias_(items, 0.0f) {}
+
+void BiasedModel::init_random(util::Rng& rng, float mean_rating) {
+  global_bias_ = mean_rating;
+  // Factors model the residual around the biases: small zero-mean init.
+  const float scale =
+      0.1f / std::sqrt(static_cast<float>(std::max(1u, k())));
+  for (auto& v : factors_.p_data()) {
+    v = static_cast<float>(rng.normal(0.0, scale));
+  }
+  for (auto& v : factors_.q_data()) {
+    v = static_cast<float>(rng.normal(0.0, scale));
+  }
+}
+
+float BiasedModel::predict(std::uint32_t u, std::uint32_t i) const noexcept {
+  return global_bias_ + user_bias_[u] + item_bias_[i] +
+         factors_.predict(u, i);
+}
+
+float biased_sgd_update(BiasedModel& model, std::uint32_t u, std::uint32_t i,
+                        float r, float lr, float reg_factor,
+                        float reg_bias) noexcept {
+  const float err = r - model.predict(u, i);
+  float& bu = model.user_bias(u);
+  float& bi = model.item_bias(i);
+  bu += lr * (err - reg_bias * bu);
+  bi += lr * (err - reg_bias * bi);
+  sgd_update_with_error(model.p(u), model.q(i), model.k(), err, lr,
+                        reg_factor, reg_factor);
+  return err;
+}
+
+void BiasedSgd::train_epoch(BiasedModel& model,
+                            const data::RatingMatrix& ratings) {
+  for (const auto& e : ratings.entries()) {
+    biased_sgd_update(model, e.u, e.i, e.r, config_.learn_rate,
+                      config_.reg_p, 0.005f);
+  }
+}
+
+double rmse(const BiasedModel& model, const data::RatingMatrix& ratings) {
+  if (ratings.nnz() == 0) return 0.0;
+  double sq = 0.0;
+  for (const auto& e : ratings.entries()) {
+    const double err = static_cast<double>(e.r) - model.predict(e.u, e.i);
+    sq += err * err;
+  }
+  return std::sqrt(sq / static_cast<double>(ratings.nnz()));
+}
+
+}  // namespace hcc::mf

@@ -1,0 +1,78 @@
+// Biased matrix factorization (extension).
+//
+// Production recommenders extend the plain P*Q model with a global mean and
+// per-user/per-item bias terms: r_hat = mu + b_u + b_i + <p_u, q_i>.  The
+// paper trains the plain model; this extension exists because real rating
+// data is dominated by user/item effects, and it demonstrates that the
+// substrate (kernel shape, trainer structure) generalizes beyond the
+// paper's exact loss.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/rating_matrix.hpp"
+#include "mf/model.hpp"
+#include "util/rng.hpp"
+
+namespace hcc::mf {
+
+/// Factors plus bias terms.
+class BiasedModel {
+ public:
+  BiasedModel() = default;
+  BiasedModel(std::uint32_t users, std::uint32_t items, std::uint32_t k);
+
+  /// Random factor init around zero plus `mean_rating` as the global bias —
+  /// the standard biased-MF initialization (factors only model residuals).
+  void init_random(util::Rng& rng, float mean_rating);
+
+  std::uint32_t users() const noexcept { return factors_.users(); }
+  std::uint32_t items() const noexcept { return factors_.items(); }
+  std::uint32_t k() const noexcept { return factors_.k(); }
+
+  float global_bias() const noexcept { return global_bias_; }
+  float& user_bias(std::uint32_t u) noexcept { return user_bias_[u]; }
+  float& item_bias(std::uint32_t i) noexcept { return item_bias_[i]; }
+  float user_bias(std::uint32_t u) const noexcept { return user_bias_[u]; }
+  float item_bias(std::uint32_t i) const noexcept { return item_bias_[i]; }
+
+  float* p(std::uint32_t u) noexcept { return factors_.p(u); }
+  float* q(std::uint32_t i) noexcept { return factors_.q(i); }
+
+  /// r_hat(u, i) = mu + b_u + b_i + <p_u, q_i>.
+  float predict(std::uint32_t u, std::uint32_t i) const noexcept;
+
+ private:
+  FactorModel factors_;
+  std::vector<float> user_bias_;
+  std::vector<float> item_bias_;
+  float global_bias_ = 0.0f;
+};
+
+/// One biased SGD step; returns the pre-update error.  Biases get the same
+/// learning rate and their own regularization `reg_bias`.
+float biased_sgd_update(BiasedModel& model, std::uint32_t u, std::uint32_t i,
+                        float r, float lr, float reg_factor,
+                        float reg_bias) noexcept;
+
+/// Epoch-at-a-time biased trainer (serial; the HCC worker integration of
+/// the bias vectors is left as documented future work — they would ride
+/// along with Q in the COMM payload at +n floats).
+class BiasedSgd {
+ public:
+  explicit BiasedSgd(const SgdConfig& config) : config_(config) {}
+
+  void train_epoch(BiasedModel& model, const data::RatingMatrix& ratings);
+
+  std::string name() const { return "biased-sgd"; }
+
+ private:
+  SgdConfig config_;
+};
+
+/// RMSE of a biased model.
+double rmse(const BiasedModel& model, const data::RatingMatrix& ratings);
+
+}  // namespace hcc::mf

@@ -1,0 +1,58 @@
+#include "mf/dsgd.hpp"
+
+#include <algorithm>
+#include <future>
+
+namespace hcc::mf {
+
+DsgdTrainer::DsgdTrainer(const SgdConfig& config, util::ThreadPool& pool,
+                         std::uint32_t workers)
+    : Trainer(config), pool_(pool), workers_(std::max(1u, workers)) {}
+
+void DsgdTrainer::build_blocks(const data::RatingMatrix& ratings) {
+  const std::uint32_t p = workers_;
+  blocks_.assign(std::size_t(p) * p, {});
+  // Even row/column split — DSGD's homogeneity assumption.
+  for (const auto& e : ratings.entries()) {
+    const std::uint32_t rb = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(e.u) * p) / std::max(1u, ratings.rows()));
+    const std::uint32_t cb = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(e.i) * p) / std::max(1u, ratings.cols()));
+    blocks_[std::size_t(rb) * p + cb].push_back(e);
+  }
+  cached_data_ = ratings.entries().data();
+  cached_nnz_ = ratings.nnz();
+}
+
+void DsgdTrainer::train_epoch(FactorModel& model,
+                              const data::RatingMatrix& ratings) {
+  if (cached_data_ != ratings.entries().data() ||
+      cached_nnz_ != ratings.nnz()) {
+    build_blocks(ratings);
+  }
+  const std::uint32_t p = workers_;
+  const std::uint32_t k = model.k();
+  const float lr = lr_;
+  const float reg_p = config_.reg_p;
+  const float reg_q = config_.reg_q;
+
+  for (std::uint32_t stratum = 0; stratum < p; ++stratum) {
+    // Blocks {(w, (w+stratum) mod p)} are row/column disjoint: parallel,
+    // conflict-free.  Barrier at the end of each stratum.
+    std::vector<std::future<void>> pending;
+    for (std::uint32_t w = 0; w < p; ++w) {
+      const std::uint32_t cb = (w + stratum) % p;
+      const auto& block = blocks_[std::size_t(w) * p + cb];
+      if (block.empty()) continue;
+      pending.push_back(pool_.submit([&model, &block, k, lr, reg_p, reg_q] {
+        for (const auto& e : block) {
+          sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p, reg_q);
+        }
+      }));
+    }
+    for (auto& f : pending) f.get();
+  }
+  decay_lr();
+}
+
+}  // namespace hcc::mf

@@ -1,0 +1,122 @@
+#include "mf/fpsgd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace hcc::mf {
+
+FpsgdTrainer::FpsgdTrainer(const SgdConfig& config, std::uint32_t threads)
+    : Trainer(config), threads_(std::max(1u, threads)), rng_(config.seed) {}
+
+void FpsgdTrainer::build_grid(const data::RatingMatrix& ratings) {
+  const std::uint32_t nb = bands();
+  blocks_.assign(std::size_t(nb) * nb, {});
+
+  // Band boundaries split rows/columns evenly; real FPSGD random-shuffles
+  // rows first, which our datasets already are (generator shuffles ids).
+  row_band_of_.resize(ratings.rows());
+  col_band_of_.resize(ratings.cols());
+  for (std::uint32_t r = 0; r < ratings.rows(); ++r) {
+    row_band_of_[r] = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(r) * nb) / std::max(1u, ratings.rows()));
+  }
+  for (std::uint32_t c = 0; c < ratings.cols(); ++c) {
+    col_band_of_[c] = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(c) * nb) / std::max(1u, ratings.cols()));
+  }
+  for (const auto& e : ratings.entries()) {
+    blocks_[std::size_t(row_band_of_[e.u]) * nb + col_band_of_[e.i]]
+        .push_back(e);
+  }
+  cached_data_ = ratings.entries().data();
+  cached_nnz_ = ratings.nnz();
+}
+
+void FpsgdTrainer::train_epoch(FactorModel& model,
+                               const data::RatingMatrix& ratings) {
+  if (cached_data_ != ratings.entries().data() ||
+      cached_nnz_ != ratings.nnz()) {
+    build_grid(ratings);
+  }
+  const std::uint32_t nb = bands();
+  const std::uint32_t k = model.k();
+  const float lr = lr_;
+  const float reg_p = config_.reg_p;
+  const float reg_q = config_.reg_q;
+
+  // Scheduler state, all guarded by `mutex`.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<bool> row_busy(nb, false);
+  std::vector<bool> col_busy(nb, false);
+  std::vector<bool> done(std::size_t(nb) * nb, false);
+  std::uint32_t remaining = nb * nb;
+
+  // Picks a free, unprocessed block or blocks until one frees up; returns
+  // nb*nb when the epoch is complete.
+  auto acquire = [&]() -> std::uint32_t {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      if (remaining == 0) return nb * nb;
+      std::uint32_t best = nb * nb;
+      std::size_t best_size = 0;
+      for (std::uint32_t rb = 0; rb < nb; ++rb) {
+        if (row_busy[rb]) continue;
+        for (std::uint32_t cb = 0; cb < nb; ++cb) {
+          if (col_busy[cb]) continue;
+          const std::uint32_t b = rb * nb + cb;
+          if (done[b]) continue;
+          // Prefer the fullest block so stragglers don't pile up at the end.
+          if (best == nb * nb || blocks_[b].size() > best_size) {
+            best = b;
+            best_size = blocks_[b].size();
+          }
+        }
+      }
+      if (best != nb * nb) {
+        row_busy[best / nb] = true;
+        col_busy[best % nb] = true;
+        return best;
+      }
+      cv.wait(lock);
+    }
+  };
+
+  auto release = [&](std::uint32_t block) {
+    {
+      std::lock_guard lock(mutex);
+      row_busy[block / nb] = false;
+      col_busy[block % nb] = false;
+      done[block] = true;
+      --remaining;
+    }
+    cv.notify_all();
+  };
+
+  auto worker = [&] {
+    for (;;) {
+      const std::uint32_t block = acquire();
+      if (block == nb * nb) return;
+      for (const auto& e : blocks_[block]) {
+        sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p, reg_q);
+      }
+      release(block);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads_ - 1);
+  for (std::uint32_t t = 1; t < threads_; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+
+  // With all blocks done, every thread's acquire() has returned; wake any
+  // stragglers still waiting (none should be, by construction).
+  cv.notify_all();
+  decay_lr();
+}
+
+}  // namespace hcc::mf

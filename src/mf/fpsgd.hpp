@@ -1,0 +1,51 @@
+// FPSGD: fast parallel SGD for shared-memory MF (Chin et al., TIST 2015).
+//
+// The paper's multi-core CPU baseline.  The rating matrix is cut into a
+// (t+1) x (t+1) grid of blocks for t threads; a scheduler hands each thread
+// a "free" block — one whose row band and column band are not held by any
+// other thread — so threads never touch the same P rows or Q rows and need
+// no locks inside the SGD kernel.  One train_epoch() processes every block
+// exactly once.
+//
+// The scheduler prefers, among free unprocessed blocks, the least-recently
+// processed one, reproducing FPSGD's balanced block rotation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mf/trainer.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hcc::mf {
+
+/// Block-scheduled shared-memory parallel SGD.
+class FpsgdTrainer final : public Trainer {
+ public:
+  /// `threads` compute threads (grid is (threads+1)^2 blocks).
+  FpsgdTrainer(const SgdConfig& config, std::uint32_t threads);
+
+  void train_epoch(FactorModel& model,
+                   const data::RatingMatrix& ratings) override;
+
+  std::string name() const override { return "fpsgd"; }
+
+  std::uint32_t threads() const noexcept { return threads_; }
+  std::uint32_t bands() const noexcept { return threads_ + 1; }
+
+ private:
+  void build_grid(const data::RatingMatrix& ratings);
+
+  std::uint32_t threads_;
+  util::Rng rng_;
+
+  // Cached block partition; rebuilt when a different matrix is passed.
+  const void* cached_data_ = nullptr;
+  std::size_t cached_nnz_ = 0;
+  std::vector<std::vector<data::Rating>> blocks_;  // bands x bands, row-major
+  std::vector<std::uint32_t> row_band_of_;         // per matrix row
+  std::vector<std::uint32_t> col_band_of_;         // per matrix column
+};
+
+}  // namespace hcc::mf

@@ -1,0 +1,23 @@
+#include "mf/hogwild.hpp"
+
+namespace hcc::mf {
+
+void HogwildTrainer::train_epoch(FactorModel& model,
+                                 const data::RatingMatrix& ratings) {
+  const auto entries = ratings.entries();
+  const std::uint32_t k = model.k();
+  const float lr = lr_;
+  const float reg_p = config_.reg_p;
+  const float reg_q = config_.reg_q;
+  // Benign data race by design: concurrent updates to the same feature row
+  // may lose increments, which Hogwild tolerates on sparse data.
+  pool_.parallel_for(0, entries.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const auto& e = entries[idx];
+      sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p, reg_q);
+    }
+  });
+  decay_lr();
+}
+
+}  // namespace hcc::mf

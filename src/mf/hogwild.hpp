@@ -1,0 +1,31 @@
+// Hogwild! asynchronous SGD (Niu, Recht, Ré, Wright 2011).
+//
+// Threads update P and Q concurrently with no locks at all.  Under sparse
+// data the collision probability is low and convergence is preserved — the
+// property HCC-MF leans on both inside each worker and for its asynchronous
+// multi-stream pipelines (Section 4.2's "lost updates" discussion).
+#pragma once
+
+#include "mf/trainer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hcc::mf {
+
+/// Lock-free parallel SGD over a shared model.
+class HogwildTrainer final : public Trainer {
+ public:
+  /// `pool` supplies the worker threads; one chunk of the (pre-shuffled)
+  /// entry array goes to each.
+  HogwildTrainer(const SgdConfig& config, util::ThreadPool& pool)
+      : Trainer(config), pool_(pool) {}
+
+  void train_epoch(FactorModel& model,
+                   const data::RatingMatrix& ratings) override;
+
+  std::string name() const override { return "hogwild"; }
+
+ private:
+  util::ThreadPool& pool_;
+};
+
+}  // namespace hcc::mf

@@ -1,0 +1,45 @@
+#include "mf/lr_schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hcc::mf {
+
+float ExponentialDecayLr::rate(std::uint32_t epoch, double) {
+  return lr_ * std::pow(decay_, static_cast<float>(epoch));
+}
+
+float InverseTimeLr::rate(std::uint32_t epoch, double) {
+  return lr_ / (1.0f + static_cast<float>(epoch) / tau_);
+}
+
+float BoldDriverLr::rate(std::uint32_t epoch, double last_objective) {
+  if (epoch == 0 || std::isnan(last_objective)) {
+    has_prev_ = !std::isnan(last_objective);
+    prev_objective_ = last_objective;
+    return lr_;
+  }
+  if (has_prev_) {
+    if (last_objective < prev_objective_) {
+      lr_ *= grow_;
+    } else {
+      lr_ *= shrink_;
+    }
+  }
+  prev_objective_ = last_objective;
+  has_prev_ = true;
+  return lr_;
+}
+
+std::unique_ptr<LrSchedule> make_lr_schedule(const std::string& name,
+                                             float lr) {
+  if (name == "constant") return std::make_unique<ConstantLr>(lr);
+  if (name == "exponential") {
+    return std::make_unique<ExponentialDecayLr>(lr, 0.95f);
+  }
+  if (name == "inverse-time") return std::make_unique<InverseTimeLr>(lr, 5.0f);
+  if (name == "bold-driver") return std::make_unique<BoldDriverLr>(lr);
+  throw std::invalid_argument("unknown lr schedule: " + name);
+}
+
+}  // namespace hcc::mf

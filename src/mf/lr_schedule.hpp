@@ -1,0 +1,87 @@
+// Learning-rate schedules.
+//
+// The paper trains with a fixed gamma = 0.005; practical MF systems decay
+// the step size.  These schedule objects plug into any trainer loop (and
+// HccMf's epoch loop via SgdConfig::lr_decay for the simple exponential
+// case); the bold driver is the classic MF heuristic (grow on improvement,
+// shrink on regression) used by the original DSGD paper.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace hcc::mf {
+
+/// Produces the learning rate for each epoch.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+
+  /// Rate to use for epoch `epoch` (0-based).  `last_objective` is the
+  /// training loss after the previous epoch (NaN for epoch 0); adaptive
+  /// schedules use it.
+  virtual float rate(std::uint32_t epoch, double last_objective) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Constant gamma (the paper's setting).
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float rate(std::uint32_t, double) override { return lr_; }
+  std::string name() const override { return "constant"; }
+
+ private:
+  float lr_;
+};
+
+/// lr * decay^epoch.
+class ExponentialDecayLr final : public LrSchedule {
+ public:
+  ExponentialDecayLr(float lr, float decay) : lr_(lr), decay_(decay) {}
+  float rate(std::uint32_t epoch, double) override;
+  std::string name() const override { return "exponential"; }
+
+ private:
+  float lr_;
+  float decay_;
+};
+
+/// lr / (1 + epoch / tau) — the inverse-time schedule with SGD's classic
+/// O(1/t) asymptotics.
+class InverseTimeLr final : public LrSchedule {
+ public:
+  InverseTimeLr(float lr, float tau) : lr_(lr), tau_(std::max(1e-6f, tau)) {}
+  float rate(std::uint32_t epoch, double) override;
+  std::string name() const override { return "inverse-time"; }
+
+ private:
+  float lr_;
+  float tau_;
+};
+
+/// Bold driver: +5% after an improving epoch, halve after a regression.
+class BoldDriverLr final : public LrSchedule {
+ public:
+  explicit BoldDriverLr(float lr, float grow = 1.05f, float shrink = 0.5f)
+      : lr_(lr), grow_(grow), shrink_(shrink) {}
+  float rate(std::uint32_t epoch, double last_objective) override;
+  std::string name() const override { return "bold-driver"; }
+
+ private:
+  float lr_;
+  float grow_;
+  float shrink_;
+  double prev_objective_ = 0.0;
+  bool has_prev_ = false;
+};
+
+/// Factory from a name ("constant", "exponential", "inverse-time",
+/// "bold-driver"); throws std::invalid_argument on unknown names.
+std::unique_ptr<LrSchedule> make_lr_schedule(const std::string& name,
+                                             float lr);
+
+}  // namespace hcc::mf

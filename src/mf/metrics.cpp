@@ -1,0 +1,52 @@
+#include "mf/metrics.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+namespace hcc::mf {
+
+double rmse(const FactorModel& model, const data::RatingMatrix& ratings) {
+  if (ratings.nnz() == 0) return 0.0;
+  double sq = 0.0;
+  for (const auto& e : ratings.entries()) {
+    const double err = static_cast<double>(e.r) - model.predict(e.u, e.i);
+    sq += err * err;
+  }
+  return std::sqrt(sq / static_cast<double>(ratings.nnz()));
+}
+
+double rmse(const FactorModel& model, const data::RatingMatrix& ratings,
+            util::ThreadPool& pool) {
+  if (ratings.nnz() == 0) return 0.0;
+  const auto entries = ratings.entries();
+  std::mutex merge;
+  double sq = 0.0;
+  pool.parallel_for(0, entries.size(), [&](std::size_t lo, std::size_t hi) {
+    double local = 0.0;
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const auto& e = entries[idx];
+      const double err = static_cast<double>(e.r) - model.predict(e.u, e.i);
+      local += err * err;
+    }
+    std::lock_guard guard(merge);
+    sq += local;
+  });
+  return std::sqrt(sq / static_cast<double>(ratings.nnz()));
+}
+
+double objective(const FactorModel& model, const data::RatingMatrix& ratings,
+                 float reg_p, float reg_q) {
+  double loss = 0.0;
+  for (const auto& e : ratings.entries()) {
+    const double err = static_cast<double>(e.r) - model.predict(e.u, e.i);
+    loss += err * err;
+  }
+  double p_norm = 0.0;
+  for (float v : model.p_data()) p_norm += static_cast<double>(v) * v;
+  double q_norm = 0.0;
+  for (float v : model.q_data()) q_norm += static_cast<double>(v) * v;
+  return loss + reg_p * p_norm + reg_q * q_norm;
+}
+
+}  // namespace hcc::mf

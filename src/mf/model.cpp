@@ -1,0 +1,29 @@
+#include "mf/model.hpp"
+
+#include <cmath>
+
+namespace hcc::mf {
+
+FactorModel::FactorModel(std::uint32_t users, std::uint32_t items,
+                         std::uint32_t k)
+    : users_(users),
+      items_(items),
+      k_(k),
+      p_(std::size_t(users) * k, 0.0f),
+      q_(std::size_t(items) * k, 0.0f) {}
+
+void FactorModel::init_random(util::Rng& rng, float mean_rating) {
+  const float scale = std::sqrt(mean_rating / static_cast<float>(k_));
+  for (auto& v : p_) v = static_cast<float>(rng.uniform()) * scale;
+  for (auto& v : q_) v = static_cast<float>(rng.uniform()) * scale;
+}
+
+float FactorModel::predict(std::uint32_t u, std::uint32_t i) const noexcept {
+  const float* pu = p(u);
+  const float* qi = q(i);
+  float dot = 0.0f;
+  for (std::uint32_t f = 0; f < k_; ++f) dot += pu[f] * qi[f];
+  return dot;
+}
+
+}  // namespace hcc::mf

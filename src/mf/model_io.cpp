@@ -1,0 +1,65 @@
+#include "mf/model_io.hpp"
+
+#include <array>
+#include <fstream>
+#include <stdexcept>
+
+namespace hcc::mf {
+
+namespace {
+constexpr std::array<char, 4> kMagic = {'H', 'C', 'C', 'F'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+bool save_model(const FactorModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint32_t version = kVersion;
+  const std::uint32_t users = model.users();
+  const std::uint32_t items = model.items();
+  const std::uint32_t k = model.k();
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  out.write(reinterpret_cast<const char*>(&users), sizeof users);
+  out.write(reinterpret_cast<const char*>(&items), sizeof items);
+  out.write(reinterpret_cast<const char*>(&k), sizeof k);
+  const auto p = model.p_data();
+  const auto q = model.q_data();
+  out.write(reinterpret_cast<const char*>(p.data()),
+            static_cast<std::streamsize>(p.size() * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(q.data()),
+            static_cast<std::streamsize>(q.size() * sizeof(float)));
+  return static_cast<bool>(out);
+}
+
+FactorModel load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (magic != kMagic) throw std::runtime_error(path + ": bad magic");
+  std::uint32_t version = 0;
+  std::uint32_t users = 0;
+  std::uint32_t items = 0;
+  std::uint32_t k = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  if (version != kVersion) {
+    throw std::runtime_error(path + ": unsupported version " +
+                             std::to_string(version));
+  }
+  in.read(reinterpret_cast<char*>(&users), sizeof users);
+  in.read(reinterpret_cast<char*>(&items), sizeof items);
+  in.read(reinterpret_cast<char*>(&k), sizeof k);
+  if (!in) throw std::runtime_error(path + ": truncated header");
+  FactorModel model(users, items, k);
+  auto p = model.p_data();
+  auto q = model.q_data();
+  in.read(reinterpret_cast<char*>(p.data()),
+          static_cast<std::streamsize>(p.size() * sizeof(float)));
+  in.read(reinterpret_cast<char*>(q.data()),
+          static_cast<std::streamsize>(q.size() * sizeof(float)));
+  if (!in) throw std::runtime_error(path + ": truncated factors");
+  return model;
+}
+
+}  // namespace hcc::mf

@@ -1,0 +1,22 @@
+// Factor model serialization.
+//
+// The final P and Q are the deliverable of a training run (the server's
+// last P&Q push); this module persists them so a recommender can serve a
+// model trained elsewhere.  Binary format: magic "HCCF", version, dims,
+// then the raw P and Q arrays.
+#pragma once
+
+#include <string>
+
+#include "mf/model.hpp"
+
+namespace hcc::mf {
+
+/// Writes the model; returns false on IO failure.
+bool save_model(const FactorModel& model, const std::string& path);
+
+/// Reads a model back.  Throws std::runtime_error on bad magic/version or
+/// truncation.
+FactorModel load_model(const std::string& path);
+
+}  // namespace hcc::mf

@@ -1,0 +1,101 @@
+#include "mf/nomad.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace hcc::mf {
+
+NomadTrainer::NomadTrainer(const SgdConfig& config, std::uint32_t workers)
+    : Trainer(config), workers_(std::max(1u, workers)) {}
+
+void NomadTrainer::build_index(const data::RatingMatrix& ratings) {
+  entries_of_.assign(workers_, {});
+  for (auto& per_worker : entries_of_) per_worker.resize(ratings.cols());
+  for (const auto& e : ratings.entries()) {
+    const std::uint32_t w = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(e.u) * workers_) /
+        std::max(1u, ratings.rows()));
+    entries_of_[w][e.i].push_back(e);
+  }
+  cached_data_ = ratings.entries().data();
+  cached_nnz_ = ratings.nnz();
+}
+
+void NomadTrainer::train_epoch(FactorModel& model,
+                               const data::RatingMatrix& ratings) {
+  if (cached_data_ != ratings.entries().data() ||
+      cached_nnz_ != ratings.nnz()) {
+    build_index(ratings);
+  }
+  const std::uint32_t p = workers_;
+  const std::uint32_t k = model.k();
+  const float lr = lr_;
+  const float reg_p = config_.reg_p;
+  const float reg_q = config_.reg_q;
+
+  // A token = (item, hops left).  Item i starts at worker i mod p (the
+  // diagonal initial assignment the paper describes) and visits every
+  // worker once per epoch.
+  struct Token {
+    std::uint32_t item;
+    std::uint32_t hops_left;
+  };
+  struct Queue {
+    std::deque<Token> tokens;
+    std::mutex mutex;
+  };
+  std::vector<Queue> queues(p);
+  std::atomic<std::uint64_t> live_tokens{0};
+  std::atomic<std::uint64_t> messages{0};
+  for (std::uint32_t item = 0; item < ratings.cols(); ++item) {
+    queues[item % p].tokens.push_back(Token{item, p});
+    ++live_tokens;
+  }
+
+  auto worker_loop = [&](std::uint32_t w) {
+    while (live_tokens.load(std::memory_order_acquire) > 0) {
+      Token token{};
+      bool have_token = false;
+      {
+        std::lock_guard lock(queues[w].mutex);
+        if (!queues[w].tokens.empty()) {
+          token = queues[w].tokens.front();
+          queues[w].tokens.pop_front();
+          have_token = true;
+        }
+      }
+      if (!have_token) {
+        // Nothing owned right now; let in-flight tokens arrive.
+        std::this_thread::yield();
+        continue;
+      }
+      // Exclusive Q-row access by ownership: only this worker may touch
+      // q(item) while holding its token.  P rows are block-exclusive.
+      for (const auto& e : entries_of_[w][token.item]) {
+        sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p, reg_q);
+      }
+      if (--token.hops_left == 0) {
+        live_tokens.fetch_sub(1, std::memory_order_release);
+      } else {
+        const std::uint32_t next = (w + 1) % p;
+        std::lock_guard lock(queues[next].mutex);
+        queues[next].tokens.push_back(token);
+        messages.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(p > 0 ? p - 1 : 0);
+  for (std::uint32_t w = 1; w < p; ++w) threads.emplace_back(worker_loop, w);
+  worker_loop(0);
+  for (auto& t : threads) t.join();
+
+  messages_ = messages.load();
+  decay_lr();
+}
+
+}  // namespace hcc::mf

@@ -1,0 +1,50 @@
+// NOMAD-style non-locking asynchronous SGD (Yun, Yu, Hsieh, Vishwanathan,
+// Dhillon 2013) — the second distributed baseline of the paper's Related
+// Work.  Workers own disjoint row blocks permanently; *item columns*
+// circulate between workers as tokens.  The worker holding an item's token
+// is the only one allowed to update that item's Q row, so no locks guard
+// the factors — the mutual exclusion is carried entirely by token
+// ownership (which is exactly the "completely supported by the
+// transmission of parameter messages" property, and the communication
+// volume, that the paper criticizes).
+//
+// One train_epoch() circulates every item token through all workers once,
+// so every rating is applied exactly once per epoch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mf/trainer.hpp"
+
+namespace hcc::mf {
+
+/// Token-passing asynchronous SGD.
+class NomadTrainer final : public Trainer {
+ public:
+  NomadTrainer(const SgdConfig& config, std::uint32_t workers);
+
+  void train_epoch(FactorModel& model,
+                   const data::RatingMatrix& ratings) override;
+
+  std::string name() const override { return "nomad"; }
+
+  std::uint32_t workers() const noexcept { return workers_; }
+
+  /// Messages (token hand-offs) of the last epoch — the communication
+  /// volume the paper's Related Work calls "huge".
+  std::uint64_t last_epoch_messages() const noexcept { return messages_; }
+
+ private:
+  void build_index(const data::RatingMatrix& ratings);
+
+  std::uint32_t workers_;
+  std::uint64_t messages_ = 0;
+
+  const void* cached_data_ = nullptr;
+  std::size_t cached_nnz_ = 0;
+  // entries_of_[worker][item] -> this worker's ratings for that item.
+  std::vector<std::vector<std::vector<data::Rating>>> entries_of_;
+};
+
+}  // namespace hcc::mf

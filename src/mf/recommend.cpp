@@ -1,0 +1,84 @@
+#include "mf/recommend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcc::mf {
+
+SeenIndex::SeenIndex(const data::RatingMatrix& train)
+    : items_(train.rows()) {
+  for (const auto& e : train.entries()) items_[e.u].push_back(e.i);
+  for (auto& v : items_) std::sort(v.begin(), v.end());
+}
+
+bool SeenIndex::seen(std::uint32_t user, std::uint32_t item) const {
+  const auto& v = items_[user];
+  return std::binary_search(v.begin(), v.end(), item);
+}
+
+std::vector<ScoredItem> top_n(const FactorModel& model, const SeenIndex& seen,
+                              std::uint32_t user, std::size_t n) {
+  // Min-heap of the current best n, so memory stays O(n) even for huge
+  // catalogues.
+  auto worse = [](const ScoredItem& a, const ScoredItem& b) {
+    return a.score > b.score;  // heap root = weakest of the kept items
+  };
+  std::vector<ScoredItem> heap;
+  heap.reserve(n + 1);
+  for (std::uint32_t item = 0; item < model.items(); ++item) {
+    if (seen.seen(user, item)) continue;
+    const float score = model.predict(user, item);
+    if (heap.size() < n) {
+      heap.push_back({item, score});
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (!heap.empty() && score > heap.front().score) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = {item, score};
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  // sort_heap orders ascending by the comparator, i.e. descending score:
+  // best first, as documented.
+  std::sort_heap(heap.begin(), heap.end(), worse);
+  return heap;
+}
+
+double mae(const FactorModel& model, const data::RatingMatrix& ratings) {
+  if (ratings.nnz() == 0) return 0.0;
+  double total = 0.0;
+  for (const auto& e : ratings.entries()) {
+    total += std::abs(static_cast<double>(e.r) - model.predict(e.u, e.i));
+  }
+  return total / static_cast<double>(ratings.nnz());
+}
+
+double hit_rate_at_n(const FactorModel& model,
+                     const data::RatingMatrix& train,
+                     const data::RatingMatrix& test, std::size_t n,
+                     float relevant_min) {
+  const SeenIndex seen(train);
+  std::size_t trials = 0;
+  std::size_t hits = 0;
+  // Group test entries per user so top_n runs once per user.
+  std::vector<std::vector<const data::Rating*>> by_user(train.rows());
+  for (const auto& e : test.entries()) {
+    if (e.r >= relevant_min) by_user[e.u].push_back(&e);
+  }
+  for (std::uint32_t u = 0; u < train.rows(); ++u) {
+    if (by_user[u].empty()) continue;
+    const auto recs = top_n(model, seen, u, n);
+    for (const auto* e : by_user[u]) {
+      ++trials;
+      for (const auto& r : recs) {
+        if (r.item == e->i) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  return trials == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace hcc::mf

@@ -1,0 +1,59 @@
+// Recommendation on top of a trained factor model.
+//
+// MF's end purpose (Figure 1): predict the missing cells of R and recommend
+// the items with the highest predicted ratings.  This module provides the
+// top-N query plus the ranking metrics used to sanity-check a trained
+// model (hit rate and mean average error over held-out ratings).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/rating_matrix.hpp"
+#include "mf/model.hpp"
+
+namespace hcc::mf {
+
+/// One recommended item with its predicted rating.
+struct ScoredItem {
+  std::uint32_t item = 0;
+  float score = 0.0f;
+  friend bool operator==(const ScoredItem&, const ScoredItem&) = default;
+};
+
+/// Per-user view of which items are known (rated in the training set) —
+/// build once, query many users.
+class SeenIndex {
+ public:
+  explicit SeenIndex(const data::RatingMatrix& train);
+
+  /// True if `user` rated `item` in the training data.
+  bool seen(std::uint32_t user, std::uint32_t item) const;
+
+  /// Number of training ratings of `user`.
+  std::size_t count(std::uint32_t user) const {
+    return items_[user].size();
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> items_;  // sorted per user
+};
+
+/// The `n` unseen items with the highest predicted rating for `user`,
+/// best first.  O(items * k + items log n).
+std::vector<ScoredItem> top_n(const FactorModel& model, const SeenIndex& seen,
+                              std::uint32_t user, std::size_t n);
+
+/// Mean absolute error of the model over `ratings`.
+double mae(const FactorModel& model, const data::RatingMatrix& ratings);
+
+/// Leave-one-out style hit rate: for each test rating >= `relevant_min`,
+/// count a hit when the item appears in the user's top-`n` recommendations
+/// (computed against `train` as the seen set).  Returns hits / trials, or
+/// 0 when there are no qualifying test ratings.
+double hit_rate_at_n(const FactorModel& model,
+                     const data::RatingMatrix& train,
+                     const data::RatingMatrix& test, std::size_t n,
+                     float relevant_min);
+
+}  // namespace hcc::mf

@@ -1,0 +1,30 @@
+#include "mf/trainer.hpp"
+
+#include "mf/metrics.hpp"
+
+namespace hcc::mf {
+
+void SerialSgd::train_epoch(FactorModel& model,
+                            const data::RatingMatrix& ratings) {
+  const std::uint32_t k = model.k();
+  for (const auto& e : ratings.entries()) {
+    sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr_, config_.reg_p,
+               config_.reg_q);
+  }
+  decay_lr();
+}
+
+std::vector<double> train_and_trace(Trainer& trainer, FactorModel& model,
+                                    const data::RatingMatrix& train,
+                                    const data::RatingMatrix& test,
+                                    std::uint32_t epochs) {
+  std::vector<double> trace;
+  trace.reserve(epochs);
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    trainer.train_epoch(model, train);
+    trace.push_back(rmse(model, test));
+  }
+  return trace;
+}
+
+}  // namespace hcc::mf

@@ -1,0 +1,68 @@
+// Trainer interface and the baseline trainers the paper compares against.
+//
+// - SerialSgd: textbook single-thread SGD (reference semantics).
+// - HogwildTrainer (hogwild.hpp): lock-free asynchronous threads, the
+//   theoretical basis (Niu et al. 2011) the paper cites for running SGD-based
+//   MF in parallel at all.
+// - FpsgdTrainer (fpsgd.hpp): the paper's multi-core CPU baseline — block
+//   grid plus a free-block scheduler (Chin et al. 2015), including the
+//   paper's vectorized-kernel modification.
+// - BatchedTrainer (batched.hpp): the paper's GPU baseline schedule —
+//   CuMF_SGD-style batched processing with entries block-sorted by row
+//   (the paper's modification iii for cache hit rate).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/rating_matrix.hpp"
+#include "mf/model.hpp"
+
+namespace hcc::mf {
+
+/// Abstract epoch-at-a-time trainer.  Stateless across epochs except for the
+/// learning-rate schedule, so callers can interleave evaluation.
+class Trainer {
+ public:
+  virtual ~Trainer() = default;
+
+  /// Runs one pass over `ratings`, updating `model` in place.
+  virtual void train_epoch(FactorModel& model,
+                           const data::RatingMatrix& ratings) = 0;
+
+  /// Human-readable trainer name for reports.
+  virtual std::string name() const = 0;
+
+  /// Current learning rate (after any decay applied so far).
+  float learn_rate() const noexcept { return lr_; }
+
+ protected:
+  explicit Trainer(const SgdConfig& config)
+      : config_(config), lr_(config.learn_rate) {}
+
+  /// Applies per-epoch decay; trainers call this at the end of train_epoch.
+  void decay_lr() noexcept { lr_ *= config_.lr_decay; }
+
+  SgdConfig config_;
+  float lr_;
+};
+
+/// Single-threaded SGD in the entry array's order.
+class SerialSgd final : public Trainer {
+ public:
+  explicit SerialSgd(const SgdConfig& config) : Trainer(config) {}
+
+  void train_epoch(FactorModel& model,
+                   const data::RatingMatrix& ratings) override;
+
+  std::string name() const override { return "serial-sgd"; }
+};
+
+/// Trains `epochs` passes and returns the per-epoch test RMSE trace.
+/// Convenience used by tests and the convergence benchmark.
+std::vector<double> train_and_trace(Trainer& trainer, FactorModel& model,
+                                    const data::RatingMatrix& train,
+                                    const data::RatingMatrix& test,
+                                    std::uint32_t epochs);
+
+}  // namespace hcc::mf

@@ -1,0 +1,171 @@
+#include "sim/device.hpp"
+
+#include <stdexcept>
+
+namespace hcc::sim {
+
+double bus_bandwidth_gbs(BusKind kind) {
+  switch (kind) {
+    case BusKind::kLocal: return 60.0;   // worker sharing the server's memory
+    case BusKind::kUpi: return 20.8;     // Intel UPI (Section 3.3)
+    case BusKind::kPcie3x16: return 16.0;
+  }
+  return 16.0;
+}
+
+std::optional<double> DeviceSpec::calibrated_rate(
+    const std::string& base) const {
+  for (const auto& c : calibrated_rates) {
+    if (c.dataset == base) return c.updates_per_s;
+  }
+  return std::nullopt;
+}
+
+std::string dataset_base_name(const std::string& dataset_name) {
+  const auto at = dataset_name.find('@');
+  std::string base = at == std::string::npos ? dataset_name
+                                             : dataset_name.substr(0, at);
+  // R1* shares R1's per-update rates (same dimensions, more entries).
+  if (base == "r1star") return "r1";
+  return base;
+}
+
+namespace {
+
+// Table 4, "computing power" columns (updates/s, 20-epoch training).
+std::vector<CalibratedRate> rates_6242_24t() {
+  return {{"netflix", 348790567.0},
+          {"r1", 190891071.0},
+          {"r2", 266293289.0},
+          {"movielens", 261609815.0}};
+}
+std::vector<CalibratedRate> rates_6242_16t() {
+  return {{"netflix", 272502189.3},
+          {"r1", 191469060.9},
+          {"r2", 212851540.0},
+          {"movielens", 250860330.0}};
+}
+std::vector<CalibratedRate> scale_rates(std::vector<CalibratedRate> rates,
+                                        double factor) {
+  for (auto& r : rates) r.updates_per_s *= factor;
+  return rates;
+}
+std::vector<CalibratedRate> rates_2080() {
+  return {{"netflix", 918333483.2},
+          {"r1", 801190194.0},
+          {"r2", 339096219.3},
+          {"movielens", 835890148.7}};
+}
+std::vector<CalibratedRate> rates_2080s() {
+  return {{"netflix", 1052866849.0},
+          {"r1", 939313585.8},
+          {"r2", 354261902.7},
+          {"movielens", 905200490.3}};
+}
+
+}  // namespace
+
+DeviceSpec xeon_6242_24t() {
+  DeviceSpec d;
+  d.name = "6242-24T";
+  d.cls = DeviceClass::kCpu;
+  d.threads = 24;
+  d.compute_gflops = 1300.0;  // 16c/24t Cascade Lake, AVX-512
+  d.effective_bandwidth_gbs = 720.0;  // cache-inclusive; see perf_model
+  d.cache_mb = 22.0;
+  d.cache_sensitivity = 1.0;
+  d.calibrated_rates = rates_6242_24t();
+  d.mem_bandwidth_gbs = 67.3001;  // Table 2 "6242"
+  d.bandwidth_drift = 0.01;
+  d.compute_drift = -0.12;  // smaller assignments amortize thread overheads worse
+  d.bus = BusKind::kUpi;
+  d.copy_streams = 1;  // no copy engine without an iGPU (Section 3.4)
+  d.epoch_overhead_s = 0.003;  // thread-pool wake-up + epoch barrier
+  d.price_usd = 2700.0;
+  return d;
+}
+
+DeviceSpec xeon_6242_16t() {
+  DeviceSpec d = xeon_6242_24t();
+  d.name = "6242-16T";
+  d.threads = 16;
+  d.compute_gflops = 1000.0;
+  d.effective_bandwidth_gbs = 560.0;
+  d.calibrated_rates = rates_6242_16t();
+  d.bus = BusKind::kLocal;  // CPU_0 time-shares with the server
+  return d;
+}
+
+DeviceSpec xeon_6242_10t() {
+  DeviceSpec d = xeon_6242_16t();
+  d.name = "6242-10T";
+  d.threads = 10;
+  d.compute_gflops = 640.0;
+  d.effective_bandwidth_gbs = 330.0;
+  // Table 2's "6242l-10" bandwidth is 39.32/67.30 = 0.584 of the full CPU;
+  // its compute rates scale the same way (memory-bound kernel, Eq. 2).
+  d.calibrated_rates = scale_rates(rates_6242_16t(), 0.584);
+  d.mem_bandwidth_gbs = 39.31905;
+  return d;
+}
+
+DeviceSpec rtx_2080() {
+  DeviceSpec d;
+  d.name = "2080";
+  d.cls = DeviceClass::kGpu;
+  d.threads = 41216;  // paper's kernel configuration
+  d.compute_gflops = 10000.0;
+  d.effective_bandwidth_gbs = 1890.0;
+  d.cache_mb = 4.0;
+  d.cache_sensitivity = 0.15;
+  d.calibrated_rates = rates_2080();
+  d.mem_bandwidth_gbs = 378.616;  // Table 2 "IW"
+  d.bandwidth_drift = 0.041;      // reaches 388.8 under DP0's share
+  d.compute_drift = 0.10;         // cache hits + occupancy at small shares
+  d.bus = BusKind::kPcie3x16;
+  d.copy_streams = 4;
+  d.epoch_overhead_s = 0.003;  // kernel launches + stream setup
+  d.price_usd = 800.0;
+  return d;
+}
+
+DeviceSpec rtx_2080s() {
+  DeviceSpec d = rtx_2080();
+  d.name = "2080S";
+  d.threads = 43008;
+  d.compute_gflops = 11000.0;
+  d.effective_bandwidth_gbs = 2160.0;
+  d.calibrated_rates = rates_2080s();
+  d.mem_bandwidth_gbs = 407.095;
+  d.bandwidth_drift = 0.019;  // 407.1 -> 412.0 in Table 2
+  d.price_usd = 750.0;
+  return d;
+}
+
+DeviceSpec tesla_v100() {
+  DeviceSpec d = rtx_2080s();
+  d.name = "V100";
+  d.threads = 40960;
+  d.compute_gflops = 14000.0;
+  d.effective_bandwidth_gbs = 2800.0;
+  d.cache_mb = 6.0;
+  // Not in Table 4; Figure 3(a) shows it ~1.3x the 2080S on Netflix.
+  d.calibrated_rates = scale_rates(rates_2080s(), 1.30);
+  d.mem_bandwidth_gbs = 830.0;
+  d.bandwidth_drift = 0.015;
+  d.copy_streams = 6;
+  d.price_usd = 8000.0;  // Figure 3(b): ~1/3 rule vs 6242-2080S
+  return d;
+}
+
+DeviceSpec device_by_name(const std::string& name) {
+  if (name == "6242-24T" || name == "6242") return xeon_6242_24t();
+  if (name == "6242-16T") return xeon_6242_16t();
+  if (name == "6242-10T" || name == "6242L" || name == "6242l") return xeon_6242_10t();
+  if (name == "2080") return rtx_2080();
+  if (name == "2080S" || name == "2080s") return rtx_2080s();
+  if (name == "V100" || name == "v100") return tesla_v100();
+  throw std::invalid_argument("unknown device: " + name);
+}
+
+}  // namespace hcc::sim

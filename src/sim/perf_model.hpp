@@ -1,0 +1,63 @@
+// Performance model of a virtual device running SGD-based MF.
+//
+// Primary path: the device's calibrated Table 4 rate for the dataset, scaled
+// by an assignment-size drift derived from Table 2 (smaller assignments see
+// slightly higher memory bandwidth, plus a cache-locality gain because a row
+// grid shrinks the worker's P working set).
+//
+// Fallback path (unknown device/dataset pairs): the paper's Eq. 2 cost per
+// update, 7k/P_i + (16k+4)/B_i, de-rated by a cache-efficiency factor when
+// the factor-matrix working set overflows the device's cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/device.hpp"
+
+namespace hcc::sim {
+
+/// The dataset features the model needs (decoupled from data::DatasetSpec so
+/// sim does not depend on generator details).
+struct DatasetShape {
+  std::string name;  ///< used for calibration lookup (base name, see device.hpp)
+  std::uint64_t m = 0;
+  std::uint64_t n = 0;
+  std::uint64_t nnz = 0;
+  std::uint32_t k = 128;
+};
+
+/// Updates/s when the device processes the whole dataset alone ("IW").
+double iw_update_rate(const DeviceSpec& device, const DatasetShape& shape);
+
+/// Updates/s when the device is assigned `share` (0, 1] of the ratings under
+/// a row grid.  share = 1 reduces to iw_update_rate.  The direction of the
+/// share dependence follows the device's compute_drift sign: GPUs speed up
+/// at smaller assignments (cache/occupancy), CPUs slow down slightly (their
+/// fixed threading overheads amortize over less data).  This class-
+/// structured drift is what DP0 cannot see and Algorithm 1 compensates.
+double update_rate(const DeviceSpec& device, const DatasetShape& shape,
+                   double share);
+
+/// Seconds of pure computation to process `share` of the dataset once.
+double compute_seconds(const DeviceSpec& device, const DatasetShape& shape,
+                       double share);
+
+/// Runtime memory bandwidth (GB/s) at the given share — regenerates Table 2:
+/// mem_bandwidth(dev, 1.0) is the "IW" row, mem_bandwidth(dev, dp0_share)
+/// the "DP0" row.
+double mem_bandwidth(const DeviceSpec& device, double share);
+
+/// Analytic per-update seconds from Eq. 2 terms (exposed for tests and for
+/// documenting the fallback): 7k/P + (16k+4)/B_eff, divided by the cache
+/// efficiency factor.
+double analytic_update_seconds(const DeviceSpec& device,
+                               const DatasetShape& shape, double share);
+
+/// Cache-efficiency in (0, 1]: 1 when the working set (full Q + the
+/// assigned share of P) fits in cache, decaying logarithmically with
+/// overflow, scaled by the device's cache_sensitivity.
+double cache_efficiency(const DeviceSpec& device, const DatasetShape& shape,
+                        double share);
+
+}  // namespace hcc::sim

@@ -1,0 +1,57 @@
+#include "sim/platform.hpp"
+
+#include "sim/perf_model.hpp"
+
+namespace hcc::sim {
+
+double PlatformSpec::total_price_usd() const {
+  double total = 0.0;
+  bool server_counted = false;
+  for (const auto& w : workers) {
+    total += w.price_usd;
+    if (w.bus == BusKind::kLocal) server_counted = true;
+  }
+  if (!server_counted) total += 2700.0;  // a 6242 hosting the server
+  return total;
+}
+
+double PlatformSpec::ideal_update_rate(const DatasetShape& shape) const {
+  double total = 0.0;
+  for (const auto& w : workers) total += iw_update_rate(w, shape);
+  return total;
+}
+
+PlatformSpec paper_workstation_overall() {
+  PlatformSpec p;
+  p.name = "workstation-16T";
+  p.server = ServerSpec{};
+  p.workers = {xeon_6242_24t(), xeon_6242_16t(), rtx_2080(), rtx_2080s()};
+  return p;
+}
+
+PlatformSpec paper_workstation_hetero() {
+  PlatformSpec p;
+  p.name = "workstation-10T";
+  p.server = ServerSpec{};
+  p.workers = {rtx_2080s(), xeon_6242_24t(), rtx_2080(), xeon_6242_10t()};
+  return p;
+}
+
+PlatformSpec single_device(const DeviceSpec& device) {
+  PlatformSpec p;
+  p.name = device.name;
+  p.server = ServerSpec{};
+  p.workers = {device};
+  return p;
+}
+
+PlatformSpec combo(const std::string& name,
+                   const std::vector<std::string>& device_names) {
+  PlatformSpec p;
+  p.name = name;
+  p.server = ServerSpec{};
+  for (const auto& n : device_names) p.workers.push_back(device_by_name(n));
+  return p;
+}
+
+}  // namespace hcc::sim

@@ -1,0 +1,55 @@
+// Virtual multi-CPU/GPU platforms (Figure 2's architecture, Section 4.1's
+// testbed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace hcc::sim {
+
+/// The parameter-server CPU's capabilities (Eq. 3 terms).
+struct ServerSpec {
+  /// B_server — memory bandwidth available to the sync thread (GB/s).
+  /// Note this is NOT Table 2's 67.3 GB/s: that is the socket bandwidth
+  /// under a full 24-thread SGD load, while the lone streaming sync thread
+  /// sees far less contention.  Calibrated so R1's platform utilization
+  /// lands near Table 4's 62% (see EXPERIMENTS.md).
+  double mem_bandwidth_gbs = 140.0;
+  /// P_server — compute rate of the sync multiply-add (GFLOP/s).
+  double compute_gflops = 1000.0;
+};
+
+/// A machine: one server CPU plus worker devices.
+struct PlatformSpec {
+  std::string name;
+  ServerSpec server;
+  std::vector<DeviceSpec> workers;
+
+  /// Total hardware cost (Figure 3b): sum of worker prices plus the server
+  /// CPU when it is not already counted as a worker.
+  double total_price_usd() const;
+
+  /// Sum of the workers' independent update rates — the "Ideal computing
+  /// power" column of Table 4.
+  double ideal_update_rate(const struct DatasetShape& shape) const;
+};
+
+/// The paper's workstation in its overall-performance configuration
+/// (Section 4.1: CPU_0 with 16 threads): workers 6242-24T, 6242-16T
+/// (time-sharing the server), 2080, 2080S.
+PlatformSpec paper_workstation_overall();
+
+/// The heterogeneity configuration (CPU_0 limited to 10 threads, "6242l"):
+/// workers 2080S, 6242-24T, 2080, 6242-10T — the order Figure 9 adds them.
+PlatformSpec paper_workstation_hetero();
+
+/// A platform with a single worker device (baseline runs).
+PlatformSpec single_device(const DeviceSpec& device);
+
+/// Builds a platform from device preset names, e.g. {"6242-24T", "2080S"}.
+PlatformSpec combo(const std::string& name,
+                   const std::vector<std::string>& device_names);
+
+}  // namespace hcc::sim

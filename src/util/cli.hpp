@@ -1,0 +1,36 @@
+// Tiny --flag=value command-line parser for the examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hcc::util {
+
+/// Parses `--name=value` and `--name value` style flags; everything else is
+/// collected as positional arguments.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Returns the flag's value, or `fallback` if absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get(const std::string& name, std::int64_t fallback) const;
+  double get(const std::string& name, double fallback) const;
+  bool get(const std::string& name, bool fallback) const;
+
+  bool has(const std::string& name) const { return flags_.contains(name); }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// argv[0] as given.
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hcc::util

@@ -1,0 +1,55 @@
+// Real and virtual clocks.
+//
+// Every HCC-MF experiment that reports time uses a VirtualClock driven by the
+// platform simulator (src/sim), so results are deterministic and host-
+// independent.  Stopwatch wraps the real steady clock for the micro-
+// benchmarks and for profiling the functional layer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hcc::util {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Deterministic simulated clock.  The timing engine advances it explicitly;
+/// nothing in the simulator ever reads the host clock.
+class VirtualClock {
+ public:
+  /// Current simulated time in seconds since the experiment epoch.
+  double now() const noexcept { return now_s_; }
+
+  /// Advances the clock by `dt` seconds (dt >= 0).
+  void advance(double dt) noexcept { now_s_ += dt; }
+
+  /// Moves the clock to `t` if `t` is later than now (events never move the
+  /// clock backwards).
+  void advance_to(double t) noexcept {
+    if (t > now_s_) now_s_ = t;
+  }
+
+  void reset() noexcept { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace hcc::util

@@ -1,0 +1,27 @@
+// CSV writer used by benches to emit machine-readable series (figure data).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hcc::util {
+
+/// Streams rows to a .csv file; quotes cells containing separators.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// True if the underlying file opened successfully.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  /// Appends one row of cells.
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace hcc::util

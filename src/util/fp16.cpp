@@ -1,0 +1,93 @@
+#include "util/fp16.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace hcc::util {
+
+namespace {
+
+constexpr std::uint32_t kF32SignMask = 0x8000'0000u;
+constexpr std::uint32_t kF32ExpMask = 0x7f80'0000u;
+
+}  // namespace
+
+Half float_to_fp16(float value) noexcept {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (f & kF32SignMask) >> 16;
+  const std::uint32_t abs = f & ~kF32SignMask;
+
+  std::uint32_t result;
+  if (abs >= 0x7f80'0000u) {
+    // Inf / NaN.  Keep the top 10 payload bits so NaNs stay NaNs.
+    result = (abs > 0x7f80'0000u) ? 0x7e00u | ((abs >> 13) & 0x3ffu)
+                                  : 0x7c00u;
+  } else if (abs >= 0x4780'0000u) {
+    // >= 65536.0: overflows binary16 range after rounding -> infinity.
+    result = 0x7c00u;
+  } else if (abs >= 0x3880'0000u) {
+    // Normal range [2^-14, 65536).  Re-bias exponent (127 -> 15) and round
+    // the 13 dropped mantissa bits to nearest-even.
+    const std::uint32_t mant = abs + 0xc800'0000u;  // exponent re-bias
+    const std::uint32_t rounded =
+        mant + 0x0fffu + ((mant >> 13) & 1u);
+    result = rounded >> 13;
+  } else if (abs >= 0x3300'0000u) {
+    // Subnormal half range: the result is round(value * 2^24) in units of the
+    // smallest half subnormal.  value = M * 2^(exp-150) with 24-bit
+    // significand M, so value * 2^24 = M >> (126 - exp).
+    const std::uint32_t exp = abs >> 23;  // biased f32 exponent, 102..112
+    const std::uint32_t drop = 126 - exp;  // 14..24 bits shifted out
+    std::uint32_t mant = (abs & 0x007f'ffffu) | 0x0080'0000u;
+    // Round to nearest even at the bit that falls off.
+    const std::uint32_t half = 1u << (drop - 1);
+    const std::uint32_t rem = mant & ((1u << drop) - 1u);
+    mant >>= drop;
+    if (rem > half || (rem == half && (mant & 1u))) ++mant;
+    result = mant;
+  } else {
+    // Below half the smallest subnormal: rounds to signed zero.
+    result = 0;
+  }
+  return Half{static_cast<std::uint16_t>(result | sign)};
+}
+
+float fp16_to_float(Half half) noexcept {
+  const std::uint32_t h = half.bits;
+  const std::uint32_t sign = (h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x3ffu;
+
+  std::uint32_t f;
+  if (exp == 0x1fu) {
+    // Inf / NaN.
+    f = 0x7f80'0000u | (mant << 13);
+  } else if (exp != 0) {
+    // Normal: re-bias exponent 15 -> 127.
+    f = ((exp + 112u) << 23) | (mant << 13);
+  } else if (mant != 0) {
+    // Subnormal: normalize by shifting the significand up.
+    std::uint32_t m = mant;
+    std::uint32_t e = 113;
+    while ((m & 0x400u) == 0) {
+      m <<= 1;
+      --e;
+    }
+    f = (e << 23) | ((m & 0x3ffu) << 13);
+  } else {
+    f = 0;  // signed zero
+  }
+  return std::bit_cast<float>(f | sign);
+}
+
+void fp16_encode(std::span<const float> src, std::span<Half> dst) noexcept {
+  const std::size_t n = src.size() < dst.size() ? src.size() : dst.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = float_to_fp16(src[i]);
+}
+
+void fp16_decode(std::span<const Half> src, std::span<float> dst) noexcept {
+  const std::size_t n = src.size() < dst.size() ? src.size() : dst.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = fp16_to_float(src[i]);
+}
+
+}  // namespace hcc::util

@@ -1,0 +1,52 @@
+// Software IEEE-754 binary16 ("FP16") conversion.
+//
+// The paper's "Transmitting FP16 Data" communication strategy (Section 3.4,
+// Strategy 2) halves the transferred bytes by converting the feature matrices
+// to binary16 on the sender and back to binary32 on the receiver.  The paper
+// implements the conversion with AVX intrinsics on the CPU; here we provide a
+// portable, branch-light scalar codec plus a batched interface that the
+// thread pool can parallelize, which auto-vectorizes under -O2.
+//
+// Conversion semantics: round-to-nearest-even, gradual underflow to binary16
+// subnormals, overflow to +/-inf, NaN payload preserved in the high bits.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace hcc::util {
+
+/// Opaque binary16 value.  Stored as the raw bit pattern; use fp16_to_float /
+/// float_to_fp16 to convert.  Kept as a struct (not a bare uint16_t typedef)
+/// so the type system prevents mixing raw integers with half-floats.
+struct Half {
+  std::uint16_t bits = 0;
+  friend bool operator==(Half a, Half b) = default;
+};
+
+/// Converts one binary32 float to binary16 with round-to-nearest-even.
+Half float_to_fp16(float value) noexcept;
+
+/// Converts one binary16 value back to binary32 (exact; every binary16 value
+/// is representable in binary32).
+float fp16_to_float(Half half) noexcept;
+
+/// Batch encode: dst[i] = float_to_fp16(src[i]).  dst.size() must equal
+/// src.size().  Contiguous, branch-light loop that vectorizes.
+void fp16_encode(std::span<const float> src, std::span<Half> dst) noexcept;
+
+/// Batch decode: dst[i] = fp16_to_float(src[i]).
+void fp16_decode(std::span<const Half> src, std::span<float> dst) noexcept;
+
+/// Largest finite binary16 value (65504.0f); values beyond round to infinity.
+inline constexpr float kFp16Max = 65504.0f;
+
+/// Smallest positive normal binary16 value (2^-14).
+inline constexpr float kFp16MinNormal = 6.103515625e-05f;
+
+/// Upper bound on the relative rounding error for normal-range values:
+/// one half ULP of a 10-bit significand.
+inline constexpr float kFp16RelativeError = 1.0f / 2048.0f;
+
+}  // namespace hcc::util

@@ -1,0 +1,46 @@
+// Leveled stderr logging.
+//
+// Kept intentionally small: the framework's progress reporting (partition
+// decisions, strategy switches, epoch traces) goes through here so tests can
+// silence it and examples can turn on verbose tracing with --verbose.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hcc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted (default kWarn, so
+/// library code is quiet unless a caller opts in).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line at `level` if it passes the global threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Streaming helpers: HCC_LOG_INFO() << "epoch " << e << " done";
+#define HCC_LOG_DEBUG() ::hcc::util::detail::LogStream(::hcc::util::LogLevel::kDebug)
+#define HCC_LOG_INFO() ::hcc::util::detail::LogStream(::hcc::util::LogLevel::kInfo)
+#define HCC_LOG_WARN() ::hcc::util::detail::LogStream(::hcc::util::LogLevel::kWarn)
+#define HCC_LOG_ERROR() ::hcc::util::detail::LogStream(::hcc::util::LogLevel::kError)
+
+}  // namespace hcc::util

@@ -1,0 +1,67 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+
+namespace hcc::util {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire 2019: multiply a 64-bit draw by the bound and keep the high word,
+  // rejecting the small biased band at the bottom of each residue class.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; re-draw u1 so log() never sees zero.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  cached_normal_ = radius * std::sin(kTwoPi * u2);
+  has_cached_normal_ = true;
+  return radius * std::cos(kTwoPi * u2);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  // Binary search for the first cdf entry >= u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+}
+
+}  // namespace hcc::util

@@ -1,0 +1,120 @@
+// Deterministic random number generation for HCC-MF.
+//
+// Everything in this library that needs randomness takes an explicit Rng (or
+// a seed) so that experiments, tests and benchmarks are reproducible run to
+// run and host to host.  The generator is xoshiro256**, seeded via SplitMix64
+// per the reference implementations by Blackman & Vigna (public domain).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace hcc::util {
+
+/// SplitMix64 step: used to expand a single 64-bit seed into generator state.
+/// Also usable stand-alone as a cheap hash / stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG.  Satisfies std::uniform_random_bit_generator, so it can
+/// be plugged into <random> distributions, but the members below avoid
+/// <random>'s cross-platform nondeterminism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift rejection method;
+  /// unbiased and deterministic across platforms.
+  std::uint64_t uniform_u64(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal via Box-Muller (deterministic, no <random>).
+  double normal() noexcept;
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Derives an independent child generator; useful for giving each worker
+  /// thread its own stream derived from one experiment seed.
+  Rng split() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Approximate-Zipf sampler over {0, .., n-1} with exponent `s`, built with
+/// the usual inverse-CDF table.  Rating datasets have Zipf-ish user/item
+/// popularity; the synthetic generators use this to reproduce that skew.
+class ZipfSampler {
+ public:
+  /// Builds the cumulative table.  O(n) memory; fine for the scaled dataset
+  /// sizes this repo works with.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one index, most-popular = 0.
+  std::size_t operator()(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+/// In-place Fisher–Yates shuffle with the deterministic Rng.
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  if (v.size() < 2) return;
+  for (std::size_t i = v.size() - 1; i > 0; --i) {
+    const std::size_t j = rng.uniform_u64(i + 1);
+    using std::swap;
+    swap(v[i], v[j]);
+  }
+}
+
+}  // namespace hcc::util

@@ -1,0 +1,37 @@
+// Minimal ASCII table renderer for benchmark output.
+//
+// The bench binaries print the same rows the paper's tables report; this
+// helper keeps that output aligned and diff-able.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hcc::util {
+
+/// Column-aligned text table.  Usage:
+///   Table t({"worker", "pull", "compute"});
+///   t.add_row({"2080S", "0.088", "0.368"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+
+  /// Renders with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hcc::util

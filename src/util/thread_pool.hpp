@@ -1,0 +1,70 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// HCC-MF's CPU workers, the COMM module's multi-threaded copies and the FP16
+// batch codec all run on top of this pool.  Design follows the Core
+// Guidelines' "think in terms of tasks" advice: callers submit callables and
+// get futures, or use parallel_for for data-parallel loops; no raw
+// thread management leaks out of this header.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hcc::util {
+
+/// A joinable fixed-size pool.  Destruction drains outstanding tasks and
+/// joins all threads (a pool behaves like a scoped container of threads).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1; defaults to hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Submits a callable; returns a future for its result.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f),
+         ... as = std::forward<Args>(args)]() mutable {
+          return std::invoke(std::move(fn), std::move(as)...);
+        });
+    std::future<R> result = task->get_future();
+    enqueue([task]() mutable { (*task)(); });
+    return result;
+  }
+
+  /// Splits [begin, end) into ~size() contiguous chunks and runs
+  /// body(chunk_begin, chunk_end) on the pool, blocking until all finish.
+  /// The calling thread also executes one chunk, so a 1-thread pool still
+  /// makes progress even while its worker is busy.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace hcc::util

@@ -1,0 +1,112 @@
+// Tests for the COMM and COMM-P functional transports.
+#include "comm/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hcc::comm {
+namespace {
+
+std::vector<float> payload(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.2, 0.1));
+  return v;
+}
+
+TEST(ShmComm, DeliversPayloadLosslesslyWithFp32) {
+  ShmComm shm;
+  const Fp32Codec codec;
+  const auto src = payload(10000, 1);
+  std::vector<float> dst(src.size());
+  shm.transfer(src, dst, codec);
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(shm.name(), "COMM");
+}
+
+TEST(BrokerComm, DeliversIdenticalPayloadToShm) {
+  // COMM and COMM-P have "same function" (Section 4.4): byte-identical
+  // delivery, different cost structure.
+  ShmComm shm;
+  BrokerComm broker(1 << 12);
+  const Fp32Codec codec;
+  const auto src = payload(10000, 2);
+  std::vector<float> via_shm(src.size());
+  std::vector<float> via_broker(src.size());
+  shm.transfer(src, via_shm, codec);
+  broker.transfer(src, via_broker, codec);
+  EXPECT_EQ(via_shm, via_broker);
+  EXPECT_EQ(broker.name(), "COMM-P");
+}
+
+TEST(ShmComm, CountsOneCopyPerTransfer) {
+  ShmComm shm;
+  const Fp32Codec codec;
+  const auto src = payload(100, 3);
+  std::vector<float> dst(src.size());
+  shm.transfer(src, dst, codec);
+  shm.transfer(src, dst, codec);
+  EXPECT_EQ(shm.stats().copies, 2u);
+  EXPECT_EQ(shm.stats().wire_bytes, 2u * 400u);
+  EXPECT_EQ(shm.stats().messages, 0u);
+}
+
+TEST(BrokerComm, CountsThreeCopiesAndMessages) {
+  BrokerComm broker(/*message_bytes=*/256);
+  const Fp32Codec codec;
+  const auto src = payload(100, 4);  // 400 wire bytes -> 2 messages
+  std::vector<float> dst(src.size());
+  broker.transfer(src, dst, codec);
+  EXPECT_EQ(broker.stats().copies, 3u);
+  EXPECT_EQ(broker.stats().messages, 2u);
+  EXPECT_EQ(broker.stats().wire_bytes, 400u);
+}
+
+TEST(BrokerComm, MessageCountScalesWithPayload) {
+  BrokerComm broker(1024);
+  const Fp32Codec codec;
+  const auto src = payload(1024, 5);  // 4096 bytes -> 4 messages
+  std::vector<float> dst(src.size());
+  broker.transfer(src, dst, codec);
+  EXPECT_EQ(broker.stats().messages, 4u);
+}
+
+TEST(Backends, Fp16TransferHalvesWireBytes) {
+  ShmComm shm;
+  const Fp16Codec fp16;
+  const auto src = payload(1000, 6);
+  std::vector<float> dst(src.size());
+  shm.transfer(src, dst, fp16);
+  EXPECT_EQ(shm.stats().wire_bytes, 2000u);
+  // Payload arrives quantized but close.
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_NEAR(dst[i], src[i], 0.01f);
+  }
+}
+
+TEST(Backends, StatsAccumulateAndReset) {
+  ShmComm shm;
+  const Fp32Codec codec;
+  const auto src = payload(10, 7);
+  std::vector<float> dst(src.size());
+  shm.transfer(src, dst, codec);
+  EXPECT_GT(shm.stats().wire_bytes, 0u);
+  shm.reset_stats();
+  EXPECT_EQ(shm.stats().wire_bytes, 0u);
+  EXPECT_EQ(shm.stats().copies, 0u);
+}
+
+TEST(TransferStats, PlusEqualsAggregates) {
+  TransferStats a{100, 1, 2};
+  const TransferStats b{50, 3, 4};
+  a += b;
+  EXPECT_EQ(a.wire_bytes, 150u);
+  EXPECT_EQ(a.copies, 4u);
+  EXPECT_EQ(a.messages, 6u);
+}
+
+}  // namespace
+}  // namespace hcc::comm

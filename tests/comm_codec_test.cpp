@@ -1,0 +1,81 @@
+// Tests for the wire codecs.
+#include "comm/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/fp16.hpp"
+#include "util/rng.hpp"
+
+namespace hcc::comm {
+namespace {
+
+std::vector<float> random_features(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  // Feature values live around sqrt(rating/k): small positive magnitudes.
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.15, 0.1));
+  return v;
+}
+
+TEST(Fp32Codec, IsLossless) {
+  const Fp32Codec codec;
+  const auto src = random_features(1000, 1);
+  EXPECT_EQ(codec.encoded_bytes(1000), 4000u);
+  std::vector<std::byte> wire(codec.encoded_bytes(src.size()));
+  std::vector<float> out(src.size());
+  codec.encode(src, wire);
+  codec.decode(wire, out);
+  EXPECT_EQ(out, src);
+  EXPECT_EQ(codec.name(), "fp32");
+}
+
+TEST(Fp16Codec, HalvesWireBytes) {
+  const Fp16Codec codec;
+  EXPECT_EQ(codec.encoded_bytes(1000), 2000u);
+  EXPECT_EQ(codec.name(), "fp16");
+}
+
+TEST(Fp16Codec, RoundTripWithinHalfUlp) {
+  const Fp16Codec codec;
+  const auto src = random_features(4096, 2);
+  std::vector<std::byte> wire(codec.encoded_bytes(src.size()));
+  std::vector<float> out(src.size());
+  codec.encode(src, wire);
+  codec.decode(wire, out);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float tolerance =
+        std::max(std::abs(src[i]) * util::kFp16RelativeError,
+                 util::kFp16MinNormal);
+    EXPECT_NEAR(out[i], src[i], tolerance) << "index " << i;
+  }
+}
+
+TEST(Fp16Codec, MatchesScalarReference) {
+  const Fp16Codec codec;
+  const std::vector<float> src{0.1f, -2.5f, 1000.0f, 1e-6f};
+  std::vector<std::byte> wire(codec.encoded_bytes(src.size()));
+  std::vector<float> out(src.size());
+  codec.encode(src, wire);
+  codec.decode(wire, out);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(out[i], util::fp16_to_float(util::float_to_fp16(src[i])));
+  }
+}
+
+TEST(Codecs, EmptyPayloadIsFine) {
+  const Fp16Codec fp16;
+  const Fp32Codec fp32;
+  std::vector<float> empty;
+  std::vector<std::byte> wire;
+  fp16.encode(empty, wire);
+  fp32.encode(empty, wire);
+  fp16.decode(wire, empty);
+  fp32.decode(wire, empty);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hcc::comm

@@ -1,0 +1,117 @@
+// Tests for the runtime-adaptive repartitioning controller and its HccMf
+// integration.
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/hccmf.hpp"
+
+namespace hcc::core {
+namespace {
+
+TEST(AdaptiveController, RejectsBadInputs) {
+  EXPECT_THROW(AdaptiveController({}, {}), std::invalid_argument);
+  AdaptiveOptions bad;
+  bad.gain = 0.0;
+  EXPECT_THROW(AdaptiveController({0.5, 0.5}, bad), std::invalid_argument);
+  AdaptiveController ok({0.5, 0.5});
+  EXPECT_THROW(ok.observe({1.0}), std::invalid_argument);
+}
+
+TEST(AdaptiveController, BalancedTimesLeaveSharesAlone) {
+  AdaptiveController c({0.5, 0.3, 0.2});
+  EXPECT_FALSE(c.observe({1.0, 1.02, 0.99}));
+  EXPECT_EQ(c.repartitions(), 0u);
+  EXPECT_DOUBLE_EQ(c.shares()[0], 0.5);
+}
+
+TEST(AdaptiveController, RebalancesProportionally) {
+  AdaptiveOptions options;
+  options.gain = 1.0;  // undamped: exact proportional fix
+  options.cooldown_epochs = 0;
+  AdaptiveController c({0.5, 0.5}, options);
+  // Worker 0 twice as slow as worker 1: its share must shrink.
+  ASSERT_TRUE(c.observe({2.0, 1.0}));
+  EXPECT_EQ(c.repartitions(), 1u);
+  EXPECT_LT(c.shares()[0], c.shares()[1]);
+  EXPECT_NEAR(std::accumulate(c.shares().begin(), c.shares().end(), 0.0),
+              1.0, 1e-12);
+  // Exact fix with linear times: t_i' = t_i * new/old equalizes at the
+  // mean: shares 0.5*(1.5/2)=0.375 and 0.5*(1.5/1)=0.75 -> 1/3, 2/3.
+  EXPECT_NEAR(c.shares()[0], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(c.shares()[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(AdaptiveController, CooldownSuppressesBackToBackRebalances) {
+  AdaptiveOptions options;
+  options.cooldown_epochs = 2;
+  AdaptiveController c({0.5, 0.5}, options);
+  EXPECT_TRUE(c.observe({2.0, 1.0}));
+  EXPECT_FALSE(c.observe({2.0, 1.0}));  // cooling down
+  EXPECT_FALSE(c.observe({2.0, 1.0}));
+  EXPECT_TRUE(c.observe({2.0, 1.0}));   // eligible again
+  EXPECT_EQ(c.repartitions(), 2u);
+}
+
+TEST(AdaptiveController, IgnoresPrunedWorkers) {
+  AdaptiveController c({0.7, 0.3, 0.0});
+  // The zero-share worker's (meaningless) time must not trigger anything.
+  EXPECT_FALSE(c.observe({1.0, 1.0, 50.0}));
+  EXPECT_TRUE(c.observe({3.0, 1.0, 50.0}));
+  EXPECT_DOUBLE_EQ(c.shares()[2], 0.0);
+}
+
+TEST(AdaptiveController, DampedGainMovesGradually) {
+  AdaptiveOptions options;
+  options.gain = 0.5;
+  options.cooldown_epochs = 0;
+  AdaptiveController c({0.5, 0.5}, options);
+  ASSERT_TRUE(c.observe({2.0, 1.0}));
+  // Halfway between 0.5 and the proportional target 0.375 -> ~0.4375
+  // (pre-normalization; normalization shifts both slightly).
+  EXPECT_GT(c.shares()[0], 1.0 / 3.0);
+  EXPECT_LT(c.shares()[0], 0.5);
+}
+
+TEST(AdaptiveHccMf, RecoversFromMidTrainingThrottle) {
+  // The 2080S throttles to 50% from epoch 10 on; static partitioning eats
+  // the full slowdown, the adaptive run shifts data away and recovers a
+  // good part of it.
+  const sim::DatasetShape shape{"netflix", 480190, 17771, 99072112, 128};
+  auto throttle = [](std::uint32_t epoch, std::size_t worker) {
+    return (worker == 0 && epoch >= 10) ? 0.5 : 1.0;  // worker 0 = 2080S
+  };
+
+  HccMfConfig base;
+  base.sgd.epochs = 40;
+  base.platform = sim::paper_workstation_hetero();
+  base.dataset_name = "netflix";
+  base.rate_disturbance = throttle;
+
+  HccMfConfig adaptive = base;
+  adaptive.adaptive_repartition = true;
+
+  const TrainReport static_run = HccMf(base).simulate(shape);
+  const TrainReport adaptive_run = HccMf(adaptive).simulate(shape);
+
+  EXPECT_EQ(static_run.repartitions, 0u);
+  EXPECT_GE(adaptive_run.repartitions, 1u);
+  EXPECT_LT(adaptive_run.total_virtual_s, 0.97 * static_run.total_virtual_s);
+}
+
+TEST(AdaptiveHccMf, NoDisturbanceMeansNoRepartition) {
+  const sim::DatasetShape shape{"netflix", 480190, 17771, 99072112, 128};
+  HccMfConfig config;
+  config.sgd.epochs = 20;
+  config.platform = sim::paper_workstation_hetero();
+  config.dataset_name = "netflix";
+  config.adaptive_repartition = true;
+  const TrainReport report = HccMf(config).simulate(shape);
+  // DP1 already balanced the plan; 3% jitter stays under the threshold.
+  EXPECT_EQ(report.repartitions, 0u);
+}
+
+}  // namespace
+}  // namespace hcc::core

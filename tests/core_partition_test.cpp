@@ -1,0 +1,281 @@
+// Tests for DP0 / DP1 (Algorithm 1) / DP2 and their invariants.
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+namespace hcc::core {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(Shares, NormalizeRejectsInvalid) {
+  std::vector<double> neg{0.5, -0.1};
+  EXPECT_THROW(normalize_shares(neg), std::invalid_argument);
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(normalize_shares(zero), std::invalid_argument);
+  std::vector<double> ok{2.0, 6.0};
+  normalize_shares(ok);
+  EXPECT_DOUBLE_EQ(ok[0], 0.25);
+  EXPECT_DOUBLE_EQ(ok[1], 0.75);
+}
+
+TEST(Even, UniformShares) {
+  const auto shares = even_partition(4);
+  for (double s : shares) EXPECT_DOUBLE_EQ(s, 0.25);
+  EXPECT_THROW(even_partition(0), std::invalid_argument);
+}
+
+TEST(Dp0, InverselyProportionalToTimes) {
+  // Eq. 6: a worker twice as fast gets twice the data.
+  const auto shares = dp0_partition({1.0, 2.0, 4.0});
+  EXPECT_NEAR(shares[0] / shares[1], 2.0, 1e-12);
+  EXPECT_NEAR(shares[1] / shares[2], 2.0, 1e-12);
+  EXPECT_NEAR(sum(shares), 1.0, 1e-12);
+}
+
+TEST(Dp0, EqualTimesGiveEvenSplit) {
+  const auto shares = dp0_partition({3.0, 3.0, 3.0, 3.0});
+  for (double s : shares) EXPECT_NEAR(s, 0.25, 1e-12);
+}
+
+TEST(Dp0, RejectsNonPositiveTimes) {
+  EXPECT_THROW(dp0_partition({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(dp0_partition({}), std::invalid_argument);
+}
+
+TEST(Dp0, BalancesLinearCostModel) {
+  // Theorem 1: if time_i = a_i * x_i (measure with constant rates), DP0's
+  // partition equalizes all worker times.
+  const std::vector<double> rates{1.0, 2.5, 7.0, 3.3};  // 1/a_i
+  std::vector<double> iw_times(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) iw_times[i] = 1.0 / rates[i];
+  const auto shares = dp0_partition(iw_times);
+  std::vector<double> times(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    times[i] = shares[i] / rates[i];
+  }
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_NEAR(times[i], times[0], 1e-12);
+  }
+}
+
+// A synthetic platform where each worker's *per-update speed drifts with its
+// assignment* — exactly the effect DP0 cannot see and Algorithm 1 fixes.
+// rate_i(x) = base_i * (1 + drift_i * (1 - x)).
+struct DriftingPlatform {
+  std::vector<double> base;
+  std::vector<double> drift;
+  std::vector<bool> is_gpu;
+
+  std::vector<double> measure(const std::vector<double>& shares) const {
+    std::vector<double> t(shares.size());
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      const double rate = base[i] * (1.0 + drift[i] * (1.0 - shares[i]));
+      t[i] = shares[i] / rate;
+    }
+    return t;
+  }
+};
+
+DriftingPlatform paper_like_platform() {
+  // 2 CPUs (no drift), 2 GPUs (speed up when assignment shrinks).
+  return DriftingPlatform{{0.27, 0.35, 0.92, 1.05},
+                          {0.0, 0.0, 0.25, 0.30},
+                          {false, false, true, true}};
+}
+
+TEST(Dp1, SharesSumToOne) {
+  const DriftingPlatform p = paper_like_platform();
+  const auto full = p.measure({1.0, 1.0, 1.0, 1.0});
+  const auto dp0 = dp0_partition(full);
+  const auto result = dp1_partition(
+      dp0, p.is_gpu, [&](const std::vector<double>& x) { return p.measure(x); });
+  EXPECT_NEAR(sum(result.shares), 1.0, 1e-9);
+  EXPECT_GE(result.rounds, 1u);
+}
+
+TEST(Dp1, ClosesTheCpuGpuGap) {
+  const DriftingPlatform p = paper_like_platform();
+  const auto dp0 = dp0_partition(p.measure({1.0, 1.0, 1.0, 1.0}));
+
+  auto class_gap = [&](const std::vector<double>& t) {
+    const double cpu = (t[0] + t[1]) / 2.0;
+    const double gpu = (t[2] + t[3]) / 2.0;
+    return std::abs(cpu - gpu) / std::min(cpu, gpu);
+  };
+  const double gap_dp0 = class_gap(p.measure(dp0));
+
+  const auto result = dp1_partition(
+      dp0, p.is_gpu, [&](const std::vector<double>& x) { return p.measure(x); });
+  const double gap_dp1 = class_gap(result.measured_seconds);
+  EXPECT_LE(gap_dp1, 0.1);  // Algorithm 1's own termination criterion
+  EXPECT_LE(gap_dp1, gap_dp0 + 1e-12);
+}
+
+TEST(Dp1, ImprovesMaxWorkerTime) {
+  const DriftingPlatform p = paper_like_platform();
+  const auto dp0 = dp0_partition(p.measure({1.0, 1.0, 1.0, 1.0}));
+  const auto result = dp1_partition(
+      dp0, p.is_gpu, [&](const std::vector<double>& x) { return p.measure(x); });
+  const auto t0 = p.measure(dp0);
+  const auto t1 = p.measure(result.shares);
+  EXPECT_LE(*std::max_element(t1.begin(), t1.end()),
+            *std::max_element(t0.begin(), t0.end()) * 1.02);
+}
+
+TEST(Dp1, HomogeneousPlatformIsFixedPoint) {
+  // All-GPU (or all-CPU) platform: Algorithm 1 has nothing to balance
+  // between classes; DP0 must come back unchanged.
+  DriftingPlatform p{{1.0, 2.0}, {0.0, 0.0}, {true, true}};
+  const auto dp0 = dp0_partition(p.measure({1.0, 1.0}));
+  const auto result = dp1_partition(
+      dp0, p.is_gpu, [&](const std::vector<double>& x) { return p.measure(x); });
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_NEAR(result.shares[0], dp0[0], 1e-12);
+}
+
+TEST(Dp1, TerminatesWithinMaxRounds) {
+  // A pathologically drifty platform must still terminate.
+  DriftingPlatform p{{0.1, 1.0}, {0.0, 2.0}, {false, true}};
+  Dp1Options options;
+  options.max_rounds = 5;
+  const auto result = dp1_partition(
+      dp0_partition(p.measure({1.0, 1.0})), p.is_gpu,
+      [&](const std::vector<double>& x) { return p.measure(x); }, options);
+  EXPECT_LE(result.rounds, 5u);
+  EXPECT_NEAR(sum(result.shares), 1.0, 1e-9);
+}
+
+TEST(Dp1, MismatchedInputsThrow) {
+  EXPECT_THROW(dp1_partition({0.5, 0.5}, {true},
+                             [](const std::vector<double>& x) {
+                               return std::vector<double>(x.size(), 1.0);
+                             }),
+               std::invalid_argument);
+}
+
+TEST(Dp2, StaggersComputeTimesBySyncInterval) {
+  // Balanced input: equal shares, equal times; sync = 0.1 each.
+  const std::vector<double> shares{0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> seconds{1.0, 1.0, 1.0, 1.0};
+  const auto dp2 = dp2_partition(shares, seconds, 0.1);
+  EXPECT_NEAR(sum(dp2), 1.0, 1e-12);
+  // Linear-cost check: new time_i ~ (x_i'/x_i) * t_i; the symmetric input
+  // makes the normalization factor exactly 1, so consecutive workers differ
+  // by exactly one sync interval (Eq. 7).
+  std::vector<double> t(4);
+  for (int i = 0; i < 4; ++i) t[i] = dp2[i] / shares[i] * seconds[i];
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_NEAR(t[i] - t[i - 1], 0.1, 1e-9);
+  }
+  // Ordering: later workers compute longer.
+  EXPECT_LT(dp2[0], dp2[1]);
+  EXPECT_LT(dp2[1], dp2[2]);
+  EXPECT_LT(dp2[2], dp2[3]);
+}
+
+TEST(Dp2, ZeroSyncOnBalancedInputIsIdentity) {
+  const std::vector<double> shares{0.3, 0.3, 0.4};
+  const std::vector<double> seconds{1.0, 1.0, 1.0};
+  const auto dp2 = dp2_partition(shares, seconds, 0.0);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    EXPECT_NEAR(dp2[i], shares[i], 1e-12);
+  }
+}
+
+TEST(Dp2, ZeroSyncEqualizesResidualImbalance) {
+  // With no sync to hide, DP2's targets collapse to the common center: any
+  // residual imbalance left by DP1 gets leveled.
+  const std::vector<double> shares{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  const std::vector<double> seconds{1.0, 1.2, 0.8};
+  const auto dp2 = dp2_partition(shares, seconds, 0.0);
+  std::vector<double> t(3);
+  for (int i = 0; i < 3; ++i) t[i] = dp2[i] / shares[i] * seconds[i];
+  EXPECT_NEAR(t[0], t[1], 1e-9);
+  EXPECT_NEAR(t[1], t[2], 1e-9);
+}
+
+TEST(Dp2, FixedCommShiftsTargets) {
+  // Worker 1 carries heavy fixed comm: DP2 must stagger the *totals*, so
+  // worker 1 gets less compute than a comm-blind Eq. 7 would give it.
+  const std::vector<double> shares{0.5, 0.5};
+  const std::vector<double> seconds{1.0, 1.0};
+  const std::vector<double> fixed{0.0, 0.5};
+  const auto dp2 = dp2_partition(shares, seconds, 0.1, fixed);
+  // Totals: worker 0 ranks first (1.0 < 1.5); center = 1.25; targets
+  // 1.2 and 1.3 -> compute targets 1.2 and 0.8 (pre-normalization).
+  EXPECT_GT(dp2[0], dp2[1]);
+  std::vector<double> totals(2);
+  for (int i = 0; i < 2; ++i) {
+    totals[i] = dp2[i] / shares[i] * seconds[i] + fixed[i];
+  }
+  // Finish stagger ~ one sync interval (normalization perturbs slightly).
+  EXPECT_NEAR(totals[1] - totals[0], 0.1, 0.03);
+}
+
+TEST(Dp2, MedianWorkerKeepsItsLoad) {
+  // Odd worker count: the middle worker's target equals its input time, so
+  // after the (near-1) normalization its share barely moves.
+  const std::vector<double> shares{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  const std::vector<double> seconds{1.0, 1.0, 1.0};
+  const auto dp2 = dp2_partition(shares, seconds, 0.2);
+  EXPECT_NEAR(dp2[1], shares[1], 0.01);
+}
+
+TEST(Dp2, RejectsBadInputs) {
+  EXPECT_THROW(dp2_partition({0.5}, {1.0, 1.0}, 0.1), std::invalid_argument);
+  EXPECT_THROW(dp2_partition({}, {}, 0.1), std::invalid_argument);
+  EXPECT_THROW(dp2_partition({1.0}, {1.0}, -0.1), std::invalid_argument);
+}
+
+TEST(StrategyNames, RoundTrip) {
+  for (PartitionStrategy s :
+       {PartitionStrategy::kEven, PartitionStrategy::kDp0,
+        PartitionStrategy::kDp1, PartitionStrategy::kDp2,
+        PartitionStrategy::kAuto}) {
+    EXPECT_EQ(partition_strategy_by_name(partition_strategy_name(s)), s);
+  }
+  EXPECT_THROW(partition_strategy_by_name("dp9"), std::invalid_argument);
+}
+
+// Property: for any linear platform (constant rates), DP0 equalizes and DP1
+// terminates in one round.
+class LinearPlatformProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinearPlatformProperty, Dp0OptimalDp1Idempotent) {
+  const int workers = GetParam();
+  std::vector<double> rates(workers);
+  std::vector<bool> is_gpu(workers);
+  for (int i = 0; i < workers; ++i) {
+    rates[i] = 0.5 + 0.37 * i;
+    is_gpu[i] = (i % 2 == 1);
+  }
+  auto measure = [&](const std::vector<double>& shares) {
+    std::vector<double> t(shares.size());
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      t[i] = shares[i] / rates[i];
+    }
+    return t;
+  };
+  std::vector<double> iw(workers, 0.0);
+  for (int i = 0; i < workers; ++i) iw[i] = 1.0 / rates[i];
+  const auto dp0 = dp0_partition(iw);
+  const auto times = measure(dp0);
+  for (int i = 1; i < workers; ++i) EXPECT_NEAR(times[i], times[0], 1e-12);
+  const auto dp1 = dp1_partition(dp0, is_gpu, measure);
+  EXPECT_EQ(dp1.rounds, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, LinearPlatformProperty,
+                         ::testing::Values(2, 3, 4, 5, 8));
+
+}  // namespace
+}  // namespace hcc::core

@@ -1,0 +1,178 @@
+// Tests for the functional Server / TrainWorker protocol.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/server.hpp"
+#include "core/worker.hpp"
+#include "data/datasets.hpp"
+#include "mf/metrics.hpp"
+
+namespace hcc::core {
+namespace {
+
+comm::CommConfig fp32_comm() {
+  comm::CommConfig c;
+  c.fp16 = false;
+  return c;
+}
+
+mf::FactorModel small_model(std::uint32_t users = 10, std::uint32_t items = 6,
+                            std::uint32_t k = 4) {
+  mf::FactorModel m(users, items, k);
+  util::Rng rng(3);
+  m.init_random(rng, 3.0f);
+  return m;
+}
+
+TEST(Server, SyncAppliesDeltaExactly) {
+  Server server(small_model(), fp32_comm());
+  const std::vector<float> before(server.model().q_data().begin(),
+                                  server.model().q_data().end());
+  std::vector<float> snapshot = before;
+  std::vector<float> pushed = before;
+  pushed[5] += 0.25f;
+  pushed[11] -= 0.5f;
+  server.sync_q(pushed, snapshot);
+  EXPECT_FLOAT_EQ(server.model().q_data()[5], before[5] + 0.25f);
+  EXPECT_FLOAT_EQ(server.model().q_data()[11], before[11] - 0.5f);
+  EXPECT_FLOAT_EQ(server.model().q_data()[0], before[0]);
+  EXPECT_EQ(server.sync_count(), 1u);
+}
+
+TEST(Server, TwoWorkerDeltasAccumulate) {
+  Server server(small_model(), fp32_comm());
+  const std::vector<float> snapshot(server.model().q_data().begin(),
+                                    server.model().q_data().end());
+  std::vector<float> push_a = snapshot;
+  std::vector<float> push_b = snapshot;
+  push_a[3] += 1.0f;
+  push_b[3] += 2.0f;
+  server.sync_q(push_a, snapshot);
+  server.sync_q(push_b, snapshot);
+  // WAW race resolved: both updates land, none is lost.
+  EXPECT_FLOAT_EQ(server.model().q_data()[3], snapshot[3] + 3.0f);
+  EXPECT_EQ(server.sync_count(), 2u);
+}
+
+TEST(Server, RoundtripPQuantizesUnderFp16) {
+  comm::CommConfig fp16;
+  fp16.fp16 = true;
+  Server server(small_model(), fp16);
+  server.model().p(0)[0] = 0.123456789f;
+  server.roundtrip_p_through_codec();
+  const float v = server.model().p(0)[0];
+  EXPECT_NE(v, 0.123456789f);         // quantized
+  EXPECT_NEAR(v, 0.123456789f, 1e-4); // but close
+}
+
+TEST(Server, RoundtripPIsIdentityUnderFp32) {
+  Server server(small_model(), fp32_comm());
+  const float before = server.model().p(2)[1];
+  server.roundtrip_p_through_codec();
+  EXPECT_EQ(server.model().p(2)[1], before);
+}
+
+data::RatingMatrix two_row_slice(std::uint32_t row_begin, float value) {
+  data::RatingMatrix slice(10, 6);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    slice.add(row_begin, i, value);
+    slice.add(row_begin + 1, 5 - i, value);
+  }
+  return slice;
+}
+
+TEST(Worker, PullComputePushRoundTripUpdatesGlobalModel) {
+  Server server(small_model(), fp32_comm());
+  const double before =
+      mf::rmse(server.model(), two_row_slice(0, 4.0f));
+  TrainWorker worker(0, "test-dev", two_row_slice(0, 4.0f), fp32_comm());
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    worker.pull(server);
+    worker.compute_chunk(server, 0, 0.05f, 0.001f, 0.001f, nullptr);
+    worker.push(server);
+  }
+  const double after = mf::rmse(server.model(), two_row_slice(0, 4.0f));
+  EXPECT_LT(after, 0.5 * before);
+}
+
+TEST(Worker, OnlyTouchesItsOwnPRows) {
+  Server server(small_model(), fp32_comm());
+  const std::vector<float> p_before(server.model().p_data().begin(),
+                                    server.model().p_data().end());
+  TrainWorker worker(0, "dev", two_row_slice(4, 3.0f), fp32_comm());
+  worker.pull(server);
+  worker.compute_chunk(server, 0, 0.05f, 0.001f, 0.001f, nullptr);
+  worker.push(server);
+  const auto p_after = server.model().p_data();
+  const std::uint32_t k = server.model().k();
+  for (std::uint32_t u = 0; u < 10; ++u) {
+    const bool owned = (u == 4 || u == 5);
+    for (std::uint32_t f = 0; f < k; ++f) {
+      const std::size_t idx = std::size_t(u) * k + f;
+      if (owned) continue;  // owned rows may change
+      EXPECT_EQ(p_after[idx], p_before[idx]) << "foreign P row touched: " << u;
+    }
+  }
+}
+
+TEST(Worker, ChunkedComputeCoversAllEntries) {
+  // streams = 3: the three chunks together must process every entry —
+  // verified by comparing against a 1-stream worker on the same seed.
+  Server s1(small_model(), fp32_comm());
+  Server s3(small_model(), fp32_comm());
+  TrainWorker w1(0, "dev", two_row_slice(0, 4.0f), fp32_comm(), 1);
+  TrainWorker w3(0, "dev", two_row_slice(0, 4.0f), fp32_comm(), 3);
+
+  w1.pull(s1);
+  w1.compute_chunk(s1, 0, 0.05f, 0.0f, 0.0f, nullptr);
+  w1.push(s1);
+
+  w3.pull(s3);
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    w3.compute_chunk(s3, c, 0.05f, 0.0f, 0.0f, nullptr);
+  }
+  w3.push(s3);
+
+  // Identical serial update sequence -> identical models.
+  const auto q1 = s1.model().q_data();
+  const auto q3 = s3.model().q_data();
+  for (std::size_t j = 0; j < q1.size(); ++j) EXPECT_FLOAT_EQ(q1[j], q3[j]);
+}
+
+TEST(Worker, CommStatsCountWireTraffic) {
+  Server server(small_model(), fp32_comm());
+  TrainWorker worker(0, "dev", two_row_slice(0, 4.0f), fp32_comm());
+  worker.pull(server);
+  worker.push(server);
+  const auto& stats = worker.comm_stats();
+  // One pull + one push of the whole Q (6 items x k=4 floats x 4 bytes).
+  EXPECT_EQ(stats.wire_bytes, 2u * 6u * 4u * 4u);
+  EXPECT_EQ(stats.copies, 2u);
+}
+
+TEST(Worker, Fp16PushStillConverges) {
+  comm::CommConfig fp16;
+  fp16.fp16 = true;
+  Server server(small_model(), fp16);
+  TrainWorker worker(0, "dev", two_row_slice(0, 4.0f), fp16);
+  const double before = mf::rmse(server.model(), two_row_slice(0, 4.0f));
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    worker.pull(server);
+    worker.compute_chunk(server, 0, 0.05f, 0.001f, 0.001f, nullptr);
+    worker.push(server);
+  }
+  EXPECT_LT(mf::rmse(server.model(), two_row_slice(0, 4.0f)), 0.6 * before);
+}
+
+TEST(Worker, AccessorsReportConstruction) {
+  TrainWorker worker(7, "2080S", two_row_slice(0, 1.0f), fp32_comm(), 4);
+  EXPECT_EQ(worker.id(), 7u);
+  EXPECT_EQ(worker.device_name(), "2080S");
+  EXPECT_EQ(worker.assigned_nnz(), 12u);
+  EXPECT_EQ(worker.streams(), 4u);
+}
+
+}  // namespace
+}  // namespace hcc::core

@@ -1,0 +1,157 @@
+// Tests for RatingMatrix and CsrIndex.
+#include "data/rating_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace hcc::data {
+namespace {
+
+RatingMatrix small_matrix() {
+  RatingMatrix m(4, 3);
+  m.add(0, 0, 5.0f);
+  m.add(2, 1, 3.0f);
+  m.add(1, 2, 4.0f);
+  m.add(2, 0, 1.0f);
+  m.add(3, 2, 2.0f);
+  return m;
+}
+
+TEST(RatingMatrix, BasicAccounting) {
+  const RatingMatrix m = small_matrix();
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 5u);
+  EXPECT_DOUBLE_EQ(m.density(), 5.0 / 12.0);
+}
+
+TEST(RatingMatrix, EmptyDensityIsZero) {
+  EXPECT_DOUBLE_EQ(RatingMatrix().density(), 0.0);
+  EXPECT_DOUBLE_EQ(RatingMatrix(10, 10).density(), 0.0);
+}
+
+TEST(RatingMatrix, SortByRowOrdersEntries) {
+  RatingMatrix m = small_matrix();
+  m.sort_by_row();
+  const auto e = m.entries();
+  for (std::size_t i = 1; i < e.size(); ++i) {
+    EXPECT_TRUE(e[i - 1].u < e[i].u ||
+                (e[i - 1].u == e[i].u && e[i - 1].i <= e[i].i));
+  }
+}
+
+TEST(RatingMatrix, SortByColOrdersEntries) {
+  RatingMatrix m = small_matrix();
+  m.sort_by_col();
+  const auto e = m.entries();
+  for (std::size_t i = 1; i < e.size(); ++i) {
+    EXPECT_TRUE(e[i - 1].i < e[i].i ||
+                (e[i - 1].i == e[i].i && e[i - 1].u <= e[i].u));
+  }
+}
+
+TEST(RatingMatrix, ShufflePreservesMultiset) {
+  RatingMatrix m = small_matrix();
+  util::Rng rng(1);
+  m.shuffle(rng);
+  EXPECT_EQ(m.nnz(), 5u);
+  m.sort_by_row();
+  const auto e = m.entries();
+  EXPECT_EQ(e[0], (Rating{0, 0, 5.0f}));
+  EXPECT_EQ(e[4], (Rating{3, 2, 2.0f}));
+}
+
+TEST(RatingMatrix, RowAndColCounts) {
+  const RatingMatrix m = small_matrix();
+  const auto rows = m.row_counts();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], 1u);
+  EXPECT_EQ(rows[1], 1u);
+  EXPECT_EQ(rows[2], 2u);
+  EXPECT_EQ(rows[3], 1u);
+  const auto cols = m.col_counts();
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 2u);
+  EXPECT_EQ(cols[1], 1u);
+  EXPECT_EQ(cols[2], 2u);
+}
+
+TEST(RatingMatrix, TransposeSwapsCoordinates) {
+  const RatingMatrix t = small_matrix().transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.nnz(), 5u);
+  bool found = false;
+  for (const auto& e : t.entries()) {
+    if (e.u == 1 && e.i == 2 && e.r == 3.0f) found = true;
+    EXPECT_LT(e.u, 3u);
+    EXPECT_LT(e.i, 4u);
+  }
+  EXPECT_TRUE(found) << "transposed (2,1,3.0) missing";
+}
+
+TEST(RatingMatrix, DoubleTransposeIsIdentity) {
+  RatingMatrix m = small_matrix();
+  m.sort_by_row();
+  RatingMatrix tt = m.transposed().transposed();
+  tt.sort_by_row();
+  ASSERT_EQ(tt.nnz(), m.nnz());
+  for (std::size_t i = 0; i < m.nnz(); ++i) {
+    EXPECT_EQ(tt.entries()[i], m.entries()[i]);
+  }
+}
+
+TEST(RatingMatrix, SliceRowsKeepsGlobalCoordinates) {
+  RatingMatrix m = small_matrix();
+  m.sort_by_row();
+  const RatingMatrix slice = m.slice_rows(1, 3);
+  EXPECT_EQ(slice.rows(), 4u);  // dimensions stay global
+  EXPECT_EQ(slice.nnz(), 3u);   // rows 1 and 2
+  for (const auto& e : slice.entries()) {
+    EXPECT_GE(e.u, 1u);
+    EXPECT_LT(e.u, 3u);
+  }
+}
+
+TEST(RatingMatrix, SliceRowsEmptyAndFull) {
+  RatingMatrix m = small_matrix();
+  m.sort_by_row();
+  EXPECT_EQ(m.slice_rows(0, 0).nnz(), 0u);
+  EXPECT_EQ(m.slice_rows(0, 4).nnz(), 5u);
+  EXPECT_EQ(m.slice_rows(3, 4).nnz(), 1u);
+}
+
+TEST(CsrIndex, OffsetsMatchRowCounts) {
+  RatingMatrix m = small_matrix();
+  m.sort_by_row();
+  const CsrIndex csr(m);
+  EXPECT_EQ(csr.rows(), 4u);
+  EXPECT_EQ(csr.end(0) - csr.begin(0), 1u);
+  EXPECT_EQ(csr.end(1) - csr.begin(1), 1u);
+  EXPECT_EQ(csr.end(2) - csr.begin(2), 2u);
+  EXPECT_EQ(csr.end(3) - csr.begin(3), 1u);
+  EXPECT_EQ(csr.end(3), m.nnz());
+  // Entries inside each row range really belong to that row.
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    for (std::size_t idx = csr.begin(r); idx < csr.end(r); ++idx) {
+      EXPECT_EQ(m.entries()[idx].u, r);
+    }
+  }
+}
+
+TEST(CsrIndex, HandlesEmptyRows) {
+  RatingMatrix m(5, 2);
+  m.add(4, 0, 1.0f);
+  m.sort_by_row();
+  const CsrIndex csr(m);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(csr.begin(r), csr.end(r));
+  }
+  EXPECT_EQ(csr.end(4) - csr.begin(4), 1u);
+}
+
+}  // namespace
+}  // namespace hcc::data

@@ -1,0 +1,170 @@
+// Tests for the distributed-solution baselines: DSGD and NOMAD.
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "mf/dsgd.hpp"
+#include "mf/metrics.hpp"
+#include "mf/nomad.hpp"
+#include "mf/trainer.hpp"
+
+namespace hcc::mf {
+namespace {
+
+struct Problem {
+  data::RatingMatrix train{0, 0};
+  data::RatingMatrix test{0, 0};
+  data::DatasetSpec spec;
+};
+
+Problem make_problem() {
+  Problem pr;
+  pr.spec = data::movielens20m_spec().scaled(0.002);
+  data::GeneratorConfig config;
+  config.seed = 13;
+  config.planted_rank = 4;
+  const auto full = data::generate(pr.spec, config);
+  util::Rng rng(14);
+  auto [train, test] = data::train_test_split(full, 0.1, rng);
+  pr.train = std::move(train);
+  pr.test = std::move(test);
+  return pr;
+}
+
+SgdConfig small_config() {
+  SgdConfig c = SgdConfig::for_dataset(0.02f, 0.01f, /*k=*/16);
+  c.epochs = 8;
+  return c;
+}
+
+void expect_converges(Trainer& trainer, const Problem& pr,
+                      const SgdConfig& config) {
+  FactorModel model(pr.spec.m, pr.spec.n, config.k);
+  util::Rng rng(7);
+  model.init_random(rng, 2.5f);
+  const double before = rmse(model, pr.test);
+  const auto trace =
+      train_and_trace(trainer, model, pr.train, pr.test, config.epochs);
+  EXPECT_LT(trace.back(), 0.75 * before) << trainer.name();
+  EXPECT_LT(trace.back(), 1.1) << trainer.name();
+}
+
+TEST(Dsgd, Converges) {
+  const Problem pr = make_problem();
+  util::ThreadPool pool(3);
+  DsgdTrainer trainer(small_config(), pool, 3);
+  expect_converges(trainer, pr, small_config());
+}
+
+TEST(Dsgd, SingleWorkerMatchesBlockSerialOrder) {
+  // With one worker there is a single 1x1 block: the epoch is serial SGD
+  // in block order, and must be deterministic.
+  const Problem pr = make_problem();
+  util::ThreadPool pool(2);
+  const SgdConfig c = small_config();
+  DsgdTrainer a(c, pool, 1);
+  DsgdTrainer b(c, pool, 1);
+  FactorModel ma(pr.spec.m, pr.spec.n, c.k);
+  FactorModel mb(pr.spec.m, pr.spec.n, c.k);
+  util::Rng r1(5), r2(5);
+  ma.init_random(r1, 2.5f);
+  mb.init_random(r2, 2.5f);
+  a.train_epoch(ma, pr.train);
+  b.train_epoch(mb, pr.train);
+  for (std::size_t j = 0; j < ma.q_data().size(); ++j) {
+    ASSERT_EQ(ma.q_data()[j], mb.q_data()[j]);
+  }
+}
+
+TEST(Dsgd, StrataAreConflictFree) {
+  // Run many epochs with several workers; conflict-free strata mean no
+  // lost updates, so quality matches serial closely.
+  const Problem pr = make_problem();
+  util::ThreadPool pool(4);
+  const SgdConfig c = small_config();
+
+  DsgdTrainer dsgd(c, pool, 4);
+  FactorModel m_dsgd(pr.spec.m, pr.spec.n, c.k);
+  util::Rng r1(5);
+  m_dsgd.init_random(r1, 2.5f);
+  const auto dsgd_trace =
+      train_and_trace(dsgd, m_dsgd, pr.train, pr.test, c.epochs);
+
+  SerialSgd serial(c);
+  FactorModel m_serial(pr.spec.m, pr.spec.n, c.k);
+  util::Rng r2(5);
+  m_serial.init_random(r2, 2.5f);
+  const auto serial_trace =
+      train_and_trace(serial, m_serial, pr.train, pr.test, c.epochs);
+
+  EXPECT_NEAR(dsgd_trace.back(), serial_trace.back(), 0.08);
+}
+
+TEST(Dsgd, WorkerCountClamped) {
+  util::ThreadPool pool(1);
+  DsgdTrainer trainer(small_config(), pool, 0);
+  EXPECT_EQ(trainer.workers(), 1u);
+}
+
+TEST(Nomad, Converges) {
+  const Problem pr = make_problem();
+  NomadTrainer trainer(small_config(), 3);
+  expect_converges(trainer, pr, small_config());
+}
+
+TEST(Nomad, EveryRatingAppliedOncePerEpoch) {
+  // lr = 0 leaves the model unchanged; with lr > 0 and a single worker the
+  // result must equal serial SGD applied item-by-item (token order).
+  data::RatingMatrix r(4, 4);
+  for (std::uint32_t i = 0; i < 4; ++i) r.add(i, i, 4.0f);
+  SgdConfig c = small_config();
+  NomadTrainer nomad(c, 1);
+  FactorModel m(4, 4, c.k);
+  util::Rng rng(3);
+  m.init_random(rng, 3.0f);
+  const double before = rmse(m, r);
+  nomad.train_epoch(m, r);
+  EXPECT_LT(rmse(m, r), before);
+}
+
+TEST(Nomad, MessageCountIsItemsTimesHops) {
+  const Problem pr = make_problem();
+  const std::uint32_t p = 3;
+  NomadTrainer trainer(small_config(), p);
+  FactorModel m(pr.spec.m, pr.spec.n, 16);
+  util::Rng rng(4);
+  m.init_random(rng, 2.5f);
+  trainer.train_epoch(m, pr.train);
+  // Every item token hops p-1 times (the last hop retires it).
+  EXPECT_EQ(trainer.last_epoch_messages(),
+            static_cast<std::uint64_t>(pr.spec.n) * (p - 1));
+}
+
+TEST(Nomad, QualityComparableToSerial) {
+  const Problem pr = make_problem();
+  const SgdConfig c = small_config();
+  NomadTrainer nomad(c, 4);
+  FactorModel m_nomad(pr.spec.m, pr.spec.n, c.k);
+  util::Rng r1(5);
+  m_nomad.init_random(r1, 2.5f);
+  const auto nomad_trace =
+      train_and_trace(nomad, m_nomad, pr.train, pr.test, c.epochs);
+
+  SerialSgd serial(c);
+  FactorModel m_serial(pr.spec.m, pr.spec.n, c.k);
+  util::Rng r2(5);
+  m_serial.init_random(r2, 2.5f);
+  const auto serial_trace =
+      train_and_trace(serial, m_serial, pr.train, pr.test, c.epochs);
+  EXPECT_NEAR(nomad_trace.back(), serial_trace.back(), 0.08);
+}
+
+TEST(Trainers, DistributedBaselinesReportNames) {
+  util::ThreadPool pool(1);
+  DsgdTrainer dsgd(small_config(), pool, 2);
+  NomadTrainer nomad(small_config(), 2);
+  EXPECT_EQ(dsgd.name(), "dsgd");
+  EXPECT_EQ(nomad.name(), "nomad");
+}
+
+}  // namespace
+}  // namespace hcc::mf

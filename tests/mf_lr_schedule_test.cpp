@@ -1,0 +1,69 @@
+// Tests for the learning-rate schedules.
+#include "mf/lr_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace hcc::mf {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ConstantLr, NeverChanges) {
+  ConstantLr lr(0.005f);
+  EXPECT_FLOAT_EQ(lr.rate(0, kNan), 0.005f);
+  EXPECT_FLOAT_EQ(lr.rate(100, 1.0), 0.005f);
+  EXPECT_EQ(lr.name(), "constant");
+}
+
+TEST(ExponentialDecayLr, DecaysGeometrically) {
+  ExponentialDecayLr lr(0.1f, 0.5f);
+  EXPECT_FLOAT_EQ(lr.rate(0, kNan), 0.1f);
+  EXPECT_FLOAT_EQ(lr.rate(1, 1.0), 0.05f);
+  EXPECT_FLOAT_EQ(lr.rate(3, 1.0), 0.0125f);
+}
+
+TEST(InverseTimeLr, HalvesAtTau) {
+  InverseTimeLr lr(0.1f, 4.0f);
+  EXPECT_FLOAT_EQ(lr.rate(0, kNan), 0.1f);
+  EXPECT_FLOAT_EQ(lr.rate(4, 1.0), 0.05f);
+  // Monotone decreasing.
+  float prev = 1.0f;
+  for (std::uint32_t e = 0; e < 20; ++e) {
+    const float r = lr.rate(e, 1.0);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(BoldDriverLr, GrowsOnImprovementShrinksOnRegression) {
+  BoldDriverLr lr(0.1f, 1.05f, 0.5f);
+  EXPECT_FLOAT_EQ(lr.rate(0, kNan), 0.1f);   // no history yet
+  EXPECT_FLOAT_EQ(lr.rate(1, 10.0), 0.1f);   // first objective: baseline
+  EXPECT_FLOAT_EQ(lr.rate(2, 8.0), 0.105f);  // improved: +5%
+  EXPECT_FLOAT_EQ(lr.rate(3, 9.0), 0.0525f); // regressed: halve
+  EXPECT_NEAR(lr.rate(4, 7.0), 0.0551f, 1e-4f);  // improved again
+}
+
+TEST(BoldDriverLr, NanObjectiveResets) {
+  BoldDriverLr lr(0.2f);
+  EXPECT_FLOAT_EQ(lr.rate(0, kNan), 0.2f);
+  EXPECT_FLOAT_EQ(lr.rate(1, kNan), 0.2f);  // still no usable history
+}
+
+TEST(Factory, BuildsEverySchedule) {
+  for (const char* name :
+       {"constant", "exponential", "inverse-time", "bold-driver"}) {
+    const auto schedule = make_lr_schedule(name, 0.01f);
+    ASSERT_NE(schedule, nullptr);
+    EXPECT_EQ(schedule->name(), name);
+    EXPECT_FLOAT_EQ(schedule->rate(0, kNan), 0.01f);
+  }
+  EXPECT_THROW(make_lr_schedule("warmup-cosine", 0.01f),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hcc::mf

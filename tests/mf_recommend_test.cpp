@@ -1,0 +1,175 @@
+// Tests for top-N recommendation, ranking metrics and model serialization.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/datasets.hpp"
+#include "mf/metrics.hpp"
+#include "mf/model_io.hpp"
+#include "mf/recommend.hpp"
+#include "mf/trainer.hpp"
+
+namespace hcc::mf {
+namespace {
+
+// A tiny model with hand-set factors so rankings are predictable:
+// predict(u, i) = u_factor * i_factor with i_factor = item index.
+FactorModel ladder_model(std::uint32_t users = 3, std::uint32_t items = 6) {
+  FactorModel m(users, items, 1);
+  for (std::uint32_t u = 0; u < users; ++u) m.p(u)[0] = 1.0f;
+  for (std::uint32_t i = 0; i < items; ++i) {
+    m.q(i)[0] = static_cast<float>(i);
+  }
+  return m;
+}
+
+TEST(SeenIndex, TracksTrainRatings) {
+  data::RatingMatrix train(3, 6);
+  train.add(0, 2, 5.0f);
+  train.add(0, 4, 3.0f);
+  train.add(1, 0, 1.0f);
+  const SeenIndex seen(train);
+  EXPECT_TRUE(seen.seen(0, 2));
+  EXPECT_TRUE(seen.seen(0, 4));
+  EXPECT_FALSE(seen.seen(0, 3));
+  EXPECT_FALSE(seen.seen(2, 0));
+  EXPECT_EQ(seen.count(0), 2u);
+  EXPECT_EQ(seen.count(2), 0u);
+}
+
+TEST(TopN, RanksByPredictedScore) {
+  const FactorModel m = ladder_model();
+  const SeenIndex seen(data::RatingMatrix(3, 6));
+  const auto recs = top_n(m, seen, 0, 3);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].item, 5u);  // highest i_factor
+  EXPECT_EQ(recs[1].item, 4u);
+  EXPECT_EQ(recs[2].item, 3u);
+  EXPECT_GT(recs[0].score, recs[1].score);
+}
+
+TEST(TopN, ExcludesSeenItems) {
+  const FactorModel m = ladder_model();
+  data::RatingMatrix train(3, 6);
+  train.add(0, 5, 5.0f);  // best item already rated
+  const SeenIndex seen(train);
+  const auto recs = top_n(m, seen, 0, 2);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].item, 4u);
+  EXPECT_EQ(recs[1].item, 3u);
+}
+
+TEST(TopN, HandlesShortCatalogue) {
+  const FactorModel m = ladder_model(1, 2);
+  const SeenIndex seen(data::RatingMatrix(1, 2));
+  const auto recs = top_n(m, seen, 0, 10);
+  EXPECT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].item, 1u);
+}
+
+TEST(TopN, ZeroRequestedGivesEmpty) {
+  const FactorModel m = ladder_model();
+  const SeenIndex seen(data::RatingMatrix(3, 6));
+  EXPECT_TRUE(top_n(m, seen, 0, 0).empty());
+}
+
+TEST(Mae, MatchesHandValue) {
+  const FactorModel m = ladder_model();
+  data::RatingMatrix r(3, 6);
+  r.add(0, 2, 3.0f);  // |3 - 2| = 1
+  r.add(1, 4, 2.0f);  // |2 - 4| = 2
+  EXPECT_DOUBLE_EQ(mae(m, r), 1.5);
+  EXPECT_DOUBLE_EQ(mae(m, data::RatingMatrix(3, 6)), 0.0);
+}
+
+TEST(HitRate, PerfectModelHitsHeldOutFavourites) {
+  const FactorModel m = ladder_model();
+  data::RatingMatrix train(3, 6);
+  train.add(0, 0, 1.0f);
+  data::RatingMatrix test(3, 6);
+  test.add(0, 5, 5.0f);  // item 5 is the model's top unseen pick
+  EXPECT_DOUBLE_EQ(hit_rate_at_n(m, train, test, 1, 4.0f), 1.0);
+  // With a tiny n the second-best held-out item misses.
+  test.add(0, 2, 5.0f);
+  EXPECT_DOUBLE_EQ(hit_rate_at_n(m, train, test, 1, 4.0f), 0.5);
+}
+
+TEST(HitRate, IgnoresIrrelevantTestRatings) {
+  const FactorModel m = ladder_model();
+  const data::RatingMatrix train(3, 6);
+  data::RatingMatrix test(3, 6);
+  test.add(0, 1, 1.0f);  // below relevant_min: not a trial
+  EXPECT_DOUBLE_EQ(hit_rate_at_n(m, train, test, 3, 4.0f), 0.0);
+}
+
+TEST(HitRate, TrainedModelBeatsRandomBaseline) {
+  const data::DatasetSpec spec = data::movielens20m_spec().scaled(0.002);
+  data::GeneratorConfig gen;
+  gen.seed = 9;
+  gen.planted_rank = 4;
+  const auto full = data::generate(spec, gen);
+  util::Rng rng(10);
+  auto [train, test] = data::train_test_split(full, 0.2, rng);
+
+  FactorModel model(spec.m, spec.n, 8);
+  util::Rng mrng(11);
+  model.init_random(mrng, 2.5f);
+  const std::size_t n = 20;
+  const double hr_untrained = hit_rate_at_n(model, train, test, n, 4.0f);
+
+  SgdConfig config = SgdConfig::for_dataset(0.02f, 0.01f, 8);
+  SerialSgd trainer(config);
+  for (int e = 0; e < 20; ++e) trainer.train_epoch(model, train);
+  const double hr = hit_rate_at_n(model, train, test, n, 4.0f);
+
+  // Random guessing hits with probability ~ n / items; training must beat
+  // both chance and the untrained starting point.
+  const double random_baseline =
+      static_cast<double>(n) / static_cast<double>(spec.n);
+  EXPECT_GT(hr, random_baseline);
+  EXPECT_GT(hr, hr_untrained);
+}
+
+TEST(ModelIo, RoundTripsExactly) {
+  const std::string path = "/tmp/hccmf_model_io_test.bin";
+  FactorModel m(7, 5, 3);
+  util::Rng rng(1);
+  m.init_random(rng, 3.0f);
+  ASSERT_TRUE(save_model(m, path));
+  const FactorModel loaded = load_model(path);
+  EXPECT_EQ(loaded.users(), 7u);
+  EXPECT_EQ(loaded.items(), 5u);
+  EXPECT_EQ(loaded.k(), 3u);
+  for (std::size_t j = 0; j < m.p_data().size(); ++j) {
+    EXPECT_EQ(loaded.p_data()[j], m.p_data()[j]);
+  }
+  for (std::size_t j = 0; j < m.q_data().size(); ++j) {
+    EXPECT_EQ(loaded.q_data()[j], m.q_data()[j]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIo, RejectsCorruptFiles) {
+  const std::string path = "/tmp/hccmf_model_io_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "JUNKJUNKJUNK";
+  }
+  EXPECT_THROW(load_model(path), std::runtime_error);
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_model("/tmp/definitely_missing_model.bin"),
+               std::runtime_error);
+}
+
+TEST(ModelIo, RejectsTruncatedFactors) {
+  const std::string path = "/tmp/hccmf_model_io_trunc.bin";
+  FactorModel m(4, 4, 4);
+  ASSERT_TRUE(save_model(m, path));
+  std::filesystem::resize_file(path, 40);  // inside the P array
+  EXPECT_THROW(load_model(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace hcc::mf

@@ -1,0 +1,180 @@
+// Tests for the baseline trainers: serial SGD, Hogwild, FPSGD, batched.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "data/datasets.hpp"
+#include "mf/batched.hpp"
+#include "mf/fpsgd.hpp"
+#include "mf/hogwild.hpp"
+#include "mf/metrics.hpp"
+#include "mf/trainer.hpp"
+
+namespace hcc::mf {
+namespace {
+
+struct Problem {
+  data::RatingMatrix train{0, 0};
+  data::RatingMatrix test{0, 0};
+  data::DatasetSpec spec;
+};
+
+Problem make_problem(std::uint64_t seed = 3) {
+  Problem pr;
+  pr.spec = data::movielens20m_spec().scaled(0.002);
+  data::GeneratorConfig config;
+  config.seed = seed;
+  config.planted_rank = 4;
+  const auto full = data::generate(pr.spec, config);
+  util::Rng rng(seed + 1);
+  auto [train, test] = data::train_test_split(full, 0.1, rng);
+  pr.train = std::move(train);
+  pr.test = std::move(test);
+  return pr;
+}
+
+SgdConfig small_config() {
+  SgdConfig c = SgdConfig::for_dataset(0.02f, 0.01f, /*k=*/16);
+  c.epochs = 8;
+  return c;
+}
+
+// Runs the trainer and checks the universal convergence contract: RMSE
+// decreases substantially and ends below the scale of the rating range.
+void expect_converges(Trainer& trainer, const Problem& pr,
+                      const SgdConfig& config) {
+  FactorModel model(pr.spec.m, pr.spec.n, config.k);
+  util::Rng rng(7);
+  model.init_random(rng, 2.5f);
+  const double before = rmse(model, pr.test);
+  const auto trace =
+      train_and_trace(trainer, model, pr.train, pr.test, config.epochs);
+  ASSERT_EQ(trace.size(), config.epochs);
+  EXPECT_LT(trace.back(), 0.75 * before)
+      << trainer.name() << " did not reduce RMSE";
+  EXPECT_LT(trace.back(), 1.1) << trainer.name() << " final RMSE too high";
+  // Loose monotonicity: the last epoch should not be worse than the first.
+  EXPECT_LT(trace.back(), trace.front() + 1e-9);
+}
+
+TEST(SerialSgd, Converges) {
+  const Problem pr = make_problem();
+  SerialSgd trainer(small_config());
+  expect_converges(trainer, pr, small_config());
+}
+
+TEST(SerialSgd, LearnRateDecays) {
+  SgdConfig c = small_config();
+  c.lr_decay = 0.5f;
+  SerialSgd trainer(c);
+  const Problem pr = make_problem();
+  FactorModel model(pr.spec.m, pr.spec.n, c.k);
+  util::Rng rng(7);
+  model.init_random(rng, 2.5f);
+  trainer.train_epoch(model, pr.train);
+  EXPECT_FLOAT_EQ(trainer.learn_rate(), c.learn_rate * 0.5f);
+  trainer.train_epoch(model, pr.train);
+  EXPECT_FLOAT_EQ(trainer.learn_rate(), c.learn_rate * 0.25f);
+}
+
+TEST(Hogwild, ConvergesWithThreads) {
+  const Problem pr = make_problem();
+  util::ThreadPool pool(3);
+  HogwildTrainer trainer(small_config(), pool);
+  expect_converges(trainer, pr, small_config());
+}
+
+TEST(Hogwild, MatchesSerialQuality) {
+  // Hogwild's lost updates must not visibly hurt final quality on sparse
+  // data (the Niu et al. result the paper leans on).
+  const Problem pr = make_problem();
+  const SgdConfig c = small_config();
+
+  FactorModel serial_model(pr.spec.m, pr.spec.n, c.k);
+  util::Rng rng1(7);
+  serial_model.init_random(rng1, 2.5f);
+  SerialSgd serial(c);
+  const auto serial_trace =
+      train_and_trace(serial, serial_model, pr.train, pr.test, c.epochs);
+
+  util::ThreadPool pool(4);
+  FactorModel hog_model(pr.spec.m, pr.spec.n, c.k);
+  util::Rng rng2(7);
+  hog_model.init_random(rng2, 2.5f);
+  HogwildTrainer hogwild(c, pool);
+  const auto hog_trace =
+      train_and_trace(hogwild, hog_model, pr.train, pr.test, c.epochs);
+
+  EXPECT_NEAR(hog_trace.back(), serial_trace.back(), 0.08);
+}
+
+TEST(Fpsgd, ConvergesWithBlocks) {
+  const Problem pr = make_problem();
+  FpsgdTrainer trainer(small_config(), /*threads=*/3);
+  expect_converges(trainer, pr, small_config());
+}
+
+TEST(Fpsgd, GridDimensions) {
+  FpsgdTrainer trainer(small_config(), 3);
+  EXPECT_EQ(trainer.threads(), 3u);
+  EXPECT_EQ(trainer.bands(), 4u);
+  FpsgdTrainer degenerate(small_config(), 0);
+  EXPECT_EQ(degenerate.threads(), 1u);  // clamped to at least one
+}
+
+TEST(Fpsgd, SingleThreadProcessesEveryEntryExactlyOnce) {
+  // With lr=0 the model is untouched; we verify epoch mechanics by running
+  // on a tiny matrix and checking the model is identical to serial lr=0.
+  SgdConfig c = small_config();
+  c.learn_rate = 0.0f;
+  data::RatingMatrix r(6, 6);
+  for (std::uint32_t i = 0; i < 6; ++i) r.add(i, 5 - i, 3.0f);
+  FactorModel model(6, 6, 4);
+  util::Rng rng(1);
+  model.init_random(rng, 3.0f);
+  const std::vector<float> before(model.q_data().begin(),
+                                  model.q_data().end());
+  FpsgdTrainer trainer(c, 2);
+  trainer.train_epoch(model, r);
+  for (std::size_t j = 0; j < before.size(); ++j) {
+    EXPECT_FLOAT_EQ(model.q_data()[j], before[j]);
+  }
+}
+
+TEST(Batched, ConvergesWithBatches) {
+  const Problem pr = make_problem();
+  util::ThreadPool pool(2);
+  BatchedTrainer trainer(small_config(), pool, /*batches=*/4);
+  expect_converges(trainer, pr, small_config());
+}
+
+TEST(Batched, RebuildsCacheOnNewMatrix) {
+  util::ThreadPool pool(2);
+  const SgdConfig c = small_config();
+  BatchedTrainer trainer(c, pool, 4);
+  const Problem a = make_problem(3);
+  const Problem b = make_problem(4);
+  FactorModel model(a.spec.m, a.spec.n, c.k);
+  util::Rng rng(7);
+  model.init_random(rng, 2.5f);
+  trainer.train_epoch(model, a.train);
+  trainer.train_epoch(model, b.train);  // different matrix: must not crash
+  const double after = rmse(model, a.test);
+  EXPECT_LT(after, 3.0);
+}
+
+TEST(Trainers, AllReportDistinctNames) {
+  util::ThreadPool pool(1);
+  SerialSgd serial(small_config());
+  HogwildTrainer hogwild(small_config(), pool);
+  FpsgdTrainer fpsgd(small_config(), 2);
+  BatchedTrainer batched(small_config(), pool);
+  EXPECT_EQ(serial.name(), "serial-sgd");
+  EXPECT_EQ(hogwild.name(), "hogwild");
+  EXPECT_EQ(fpsgd.name(), "fpsgd");
+  EXPECT_EQ(batched.name(), "cumf-batched");
+}
+
+}  // namespace
+}  // namespace hcc::mf

@@ -1,0 +1,211 @@
+// Cross-module property tests (parameterized sweeps over shapes, worker
+// counts and strategies).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "comm/strategy.hpp"
+#include "core/data_manager.hpp"
+#include "core/hccmf.hpp"
+#include "sim/timing.hpp"
+
+namespace hcc {
+namespace {
+
+sim::DatasetShape shape_by_name(const std::string& name) {
+  if (name == "netflix") return {"netflix", 480190, 17771, 99072112, 128};
+  if (name == "r1") return {"r1", 1948883, 1101750, 115579437, 128};
+  if (name == "r1star") return {"r1star", 1948883, 1101750, 199999997, 128};
+  if (name == "r2") return {"r2", 1000000, 136736, 383838609, 128};
+  return {"movielens", 138494, 131263, 20000260, 128};
+}
+
+// Property 1: for every dataset x strategy, the plan's shares form a valid
+// distribution and the predicted epoch time is positive and finite.
+class PlanProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, core::PartitionStrategy>> {};
+
+TEST_P(PlanProperty, SharesValidAndPredictionFinite) {
+  const auto [dataset, strategy] = GetParam();
+  comm::CommConfig comm;
+  core::DataManager mgr(sim::paper_workstation_hetero(),
+                        shape_by_name(dataset), comm);
+  const core::Plan plan = mgr.plan(strategy);
+  double sum = 0.0;
+  for (double s : plan.shares) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(plan.prediction.total_s, 0.0);
+  EXPECT_TRUE(std::isfinite(plan.prediction.total_s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasetsAllStrategies, PlanProperty,
+    ::testing::Combine(
+        ::testing::Values("netflix", "r1", "r1star", "r2", "movielens"),
+        ::testing::Values(core::PartitionStrategy::kEven,
+                          core::PartitionStrategy::kDp0,
+                          core::PartitionStrategy::kDp1,
+                          core::PartitionStrategy::kDp2,
+                          core::PartitionStrategy::kAuto)));
+
+// Property 2: simulated epoch time never improves when a worker is removed
+// (more hardware never hurts under balanced partitions) — the Figure 9
+// monotonicity.
+class ScalingProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScalingProperty, AddingWorkersNeverSlowsTraining) {
+  const sim::DatasetShape shape = shape_by_name(GetParam());
+  const auto all = sim::paper_workstation_hetero().workers;
+  core::HccMfConfig config;
+  config.sgd.epochs = 20;
+  config.partition = core::PartitionStrategy::kAuto;
+  config.comm.streams = 4;  // let GPU copy engines hide their transfers
+  config.dataset_name = shape.name;
+
+  // Figure 9 adds 2080S, 6242, 2080, 6242L in turn — except on R1, where
+  // the paper itself shows only three workers (Figure 9c): the weak local
+  // CPU's extra sync outweighs its compute on that sync-bound set.  Our
+  // model reproduces that, so R1 only asserts monotonicity up to 3.
+  const std::size_t max_workers = GetParam() == "r1" ? 3 : all.size();
+
+  double prev = 1e100;
+  for (std::size_t count = 1; count <= max_workers; ++count) {
+    config.platform.name = "subset";
+    config.platform.workers.assign(all.begin(), all.begin() + count);
+    const double total =
+        core::HccMf(config).simulate(shape).total_virtual_s;
+    // "Never slows" modulo the extra sync the new worker brings (Section
+    // 4.5 observes weaker marginal contributions on R1/R1*, not slowdowns).
+    EXPECT_LE(total, prev * 1.10)
+        << "adding worker " << count << " slowed training";
+    prev = total;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FourDatasets, ScalingProperty,
+                         ::testing::Values("netflix", "r2", "r1", "r1star"));
+
+// Property 3: each communication optimization strategy monotonically
+// reduces the simulated communication time on every dataset.
+class CommOptProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CommOptProperty, EachStrategyReducesCommTime) {
+  const sim::DatasetShape shape = shape_by_name(GetParam());
+  core::HccMfConfig config;
+  config.sgd.epochs = 20;
+  config.platform = sim::paper_workstation_hetero();
+  config.dataset_name = shape.name;
+
+  config.comm.reduce_payload = false;
+  config.comm.fp16 = false;
+  const double pq = core::HccMf(config).simulate(shape).comm_virtual_s;
+
+  config.comm.reduce_payload = true;
+  const double q_only = core::HccMf(config).simulate(shape).comm_virtual_s;
+
+  config.comm.fp16 = true;
+  const double half_q = core::HccMf(config).simulate(shape).comm_virtual_s;
+
+  EXPECT_LT(q_only, pq);
+  EXPECT_LT(half_q, q_only);
+  // Table 5's floor: FP16 gives at least 2x over Q-only.
+  EXPECT_GT(q_only / half_q, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(FiveDatasets, CommOptProperty,
+                         ::testing::Values("netflix", "r1", "r2",
+                                           "movielens"));
+
+// Property 4: the timing engine conserves work — cumulative compute time
+// across workers is independent of the partition strategy (only its
+// distribution changes), within drift effects.
+class ConservationProperty
+    : public ::testing::TestWithParam<core::PartitionStrategy> {};
+
+TEST_P(ConservationProperty, TotalComputeRoughlyInvariant) {
+  const sim::DatasetShape shape = shape_by_name("netflix");
+  comm::CommConfig comm;
+  core::DataManagerOptions options;
+  options.measure_jitter = 0.0;
+  core::DataManager mgr(sim::paper_workstation_hetero(), shape, comm,
+                        options);
+
+  auto total_updates = [&](const core::Plan& plan) {
+    // Each worker's compute seconds x its update rate = updates processed;
+    // summed over workers this must equal nnz regardless of partition.
+    sim::EpochConfig cfg = mgr.epoch_config(plan);
+    cfg.jitter = 0.0;
+    // Disable sync (whose busy time is charged to the server-sharing
+    // worker) and the fixed epoch overhead so compute_s is pure SGD work;
+    // both effects are tested separately in sim_timing.
+    for (auto& w : cfg.workers) {
+      w.comm.sync_bytes = 0.0;
+      w.device.epoch_overhead_s = 0.0;
+    }
+    const sim::EpochTiming t = sim::simulate_epoch(cfg);
+    double updates = 0.0;
+    for (std::size_t i = 0; i < t.workers.size(); ++i) {
+      updates += t.workers[i].compute_s *
+                 sim::update_rate(cfg.workers[i].device, shape,
+                                  cfg.workers[i].share);
+    }
+    return updates;
+  };
+
+  const core::Plan plan = mgr.plan(GetParam());
+  EXPECT_NEAR(total_updates(plan) / static_cast<double>(shape.nnz), 1.0,
+              1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ConservationProperty,
+                         ::testing::Values(core::PartitionStrategy::kEven,
+                                           core::PartitionStrategy::kDp0,
+                                           core::PartitionStrategy::kDp1,
+                                           core::PartitionStrategy::kDp2));
+
+// Property 5: functional HCC-MF training reduces test RMSE on every paper
+// dataset shape (scaled down), with every comm optimization enabled.
+class ConvergenceProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConvergenceProperty, ScaledDatasetConverges) {
+  const data::DatasetSpec base = data::dataset_by_name(GetParam());
+  // Keep the largest sets tiny so the sweep stays fast on one core.
+  const double scale = 2.0e4 / static_cast<double>(base.nnz) * 10.0;
+  const data::DatasetSpec spec = base.scaled(std::min(0.01, scale));
+  data::GeneratorConfig gen;
+  gen.seed = 21;
+  gen.planted_rank = 4;
+  const data::RatingMatrix ratings = data::generate(spec, gen);
+
+  core::HccMfConfig config;
+  // Scale the step size to the rating range (R1's 0-100 scale needs a much
+  // smaller gamma than the 5-point sets, as in the paper's Table 3 setup).
+  const float lr = 0.01f * (5.0f / std::max(5.0f, spec.rating_max));
+  config.sgd = mf::SgdConfig::for_dataset(0.02f, lr, 8);
+  config.sgd.epochs = 5;
+  config.comm.fp16 = true;
+  config.comm.streams = 2;
+  config.platform = sim::paper_workstation_hetero();
+  for (auto& w : config.platform.workers) w.epoch_overhead_s = 0.0;
+  config.dataset_name = spec.name;
+
+  const core::TrainReport report =
+      core::HccMf(config).train(ratings, &ratings);
+  EXPECT_LT(report.epochs.back().test_rmse,
+            report.epochs.front().test_rmse * 1.001)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(FiveDatasets, ConvergenceProperty,
+                         ::testing::Values("netflix", "r1", "r2",
+                                           "movielens"));
+
+}  // namespace
+}  // namespace hcc

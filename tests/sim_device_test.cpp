@@ -1,0 +1,118 @@
+// Tests for virtual device presets and platform composition.
+#include "sim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/perf_model.hpp"
+#include "sim/platform.hpp"
+
+namespace hcc::sim {
+namespace {
+
+TEST(Device, PresetsCarryTable2Bandwidths) {
+  EXPECT_NEAR(xeon_6242_24t().mem_bandwidth_gbs, 67.3001, 1e-4);
+  EXPECT_NEAR(xeon_6242_10t().mem_bandwidth_gbs, 39.31905, 1e-4);
+  EXPECT_NEAR(rtx_2080().mem_bandwidth_gbs, 378.616, 1e-3);
+  EXPECT_NEAR(rtx_2080s().mem_bandwidth_gbs, 407.095, 1e-3);
+}
+
+TEST(Device, PresetsCarryTable4Rates) {
+  EXPECT_NEAR(*xeon_6242_24t().calibrated_rate("netflix"), 348790567.0, 1.0);
+  EXPECT_NEAR(*xeon_6242_16t().calibrated_rate("r2"), 212851540.0, 1.0);
+  EXPECT_NEAR(*rtx_2080().calibrated_rate("r1"), 801190194.0, 1.0);
+  EXPECT_NEAR(*rtx_2080s().calibrated_rate("movielens"), 905200490.3, 1.0);
+}
+
+TEST(Device, UnknownDatasetHasNoCalibration) {
+  EXPECT_FALSE(xeon_6242_24t().calibrated_rate("mystery").has_value());
+}
+
+TEST(Device, ClassesAndBuses) {
+  EXPECT_EQ(xeon_6242_24t().cls, DeviceClass::kCpu);
+  EXPECT_EQ(rtx_2080().cls, DeviceClass::kGpu);
+  EXPECT_EQ(xeon_6242_24t().bus, BusKind::kUpi);
+  EXPECT_EQ(rtx_2080().bus, BusKind::kPcie3x16);
+  EXPECT_EQ(xeon_6242_16t().bus, BusKind::kLocal);  // time-shares the server
+}
+
+TEST(Device, BusBandwidthsMatchSection22) {
+  EXPECT_DOUBLE_EQ(bus_bandwidth_gbs(BusKind::kPcie3x16), 16.0);
+  EXPECT_DOUBLE_EQ(bus_bandwidth_gbs(BusKind::kUpi), 20.8);
+  EXPECT_GT(bus_bandwidth_gbs(BusKind::kLocal),
+            bus_bandwidth_gbs(BusKind::kUpi));
+}
+
+TEST(Device, OnlyGpusHaveCopyEngines) {
+  EXPECT_EQ(xeon_6242_24t().copy_streams, 1u);
+  EXPECT_GT(rtx_2080().copy_streams, 1u);
+  EXPECT_GT(rtx_2080s().copy_streams, 1u);
+}
+
+TEST(Device, LookupByName) {
+  EXPECT_EQ(device_by_name("6242-24T").name, "6242-24T");
+  EXPECT_EQ(device_by_name("6242L").name, "6242-10T");
+  EXPECT_EQ(device_by_name("2080S").name, "2080S");
+  EXPECT_EQ(device_by_name("V100").name, "V100");
+  EXPECT_THROW(device_by_name("3090"), std::invalid_argument);
+}
+
+TEST(Device, DatasetBaseNameStripsScaleAndAliases) {
+  EXPECT_EQ(dataset_base_name("netflix"), "netflix");
+  EXPECT_EQ(dataset_base_name("netflix@0.01"), "netflix");
+  EXPECT_EQ(dataset_base_name("r1star"), "r1");
+  EXPECT_EQ(dataset_base_name("r1star@0.05"), "r1");
+}
+
+TEST(Device, GpusAreFasterThanCpusOnNetflix) {
+  const DatasetShape nf{"netflix", 480190, 17771, 99072112, 128};
+  EXPECT_GT(iw_update_rate(rtx_2080(), nf),
+            2.0 * iw_update_rate(xeon_6242_24t(), nf));
+  EXPECT_GT(iw_update_rate(rtx_2080s(), nf), iw_update_rate(rtx_2080(), nf));
+  EXPECT_GT(iw_update_rate(tesla_v100(), nf), iw_update_rate(rtx_2080s(), nf));
+}
+
+TEST(Platform, PaperWorkstationHasFourWorkers) {
+  const PlatformSpec p = paper_workstation_overall();
+  EXPECT_EQ(p.workers.size(), 4u);
+  const PlatformSpec h = paper_workstation_hetero();
+  ASSERT_EQ(h.workers.size(), 4u);
+  // Figure 9's add order: 2080S, 6242, 2080, 6242L.
+  EXPECT_EQ(h.workers[0].name, "2080S");
+  EXPECT_EQ(h.workers[1].name, "6242-24T");
+  EXPECT_EQ(h.workers[2].name, "2080");
+  EXPECT_EQ(h.workers[3].name, "6242-10T");
+}
+
+TEST(Platform, IdealRateIsSumOfWorkers) {
+  const DatasetShape nf{"netflix", 480190, 17771, 99072112, 128};
+  const PlatformSpec p = paper_workstation_overall();
+  double sum = 0.0;
+  for (const auto& w : p.workers) sum += iw_update_rate(w, nf);
+  EXPECT_NEAR(p.ideal_update_rate(nf), sum, 1.0);
+  // Table 4's "Ideal" column for Netflix: 2,592,493,089 updates/s.
+  EXPECT_NEAR(sum, 2592493089.0, 2e6);
+}
+
+TEST(Platform, ComboBuildsFromNames) {
+  const PlatformSpec p = combo("6242-2080S", {"6242-24T", "2080S"});
+  ASSERT_EQ(p.workers.size(), 2u);
+  EXPECT_EQ(p.name, "6242-2080S");
+  EXPECT_GT(p.total_price_usd(), p.workers[1].price_usd);
+}
+
+TEST(Platform, SingleDevicePlatform) {
+  const PlatformSpec p = single_device(rtx_2080());
+  ASSERT_EQ(p.workers.size(), 1u);
+  EXPECT_EQ(p.name, "2080");
+}
+
+TEST(Platform, PricesReflectFigure3b) {
+  // Figure 3(b): the V100 costs several times the 6242-2080S combination.
+  const double v100 = single_device(tesla_v100()).total_price_usd();
+  const double combo_price =
+      combo("6242-2080S", {"6242-24T", "2080S"}).total_price_usd();
+  EXPECT_GT(v100, 1.5 * combo_price);
+}
+
+}  // namespace
+}  // namespace hcc::sim

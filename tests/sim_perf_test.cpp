@@ -1,0 +1,135 @@
+// Tests for the device performance model.
+#include "sim/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace hcc::sim {
+namespace {
+
+DatasetShape netflix_shape() { return {"netflix", 480190, 17771, 99072112, 128}; }
+DatasetShape r1_shape() { return {"r1", 1948883, 1101750, 115579437, 128}; }
+DatasetShape unknown_shape() { return {"", 100000, 20000, 5000000, 128}; }
+
+TEST(PerfModel, IwRateUsesCalibration) {
+  EXPECT_NEAR(iw_update_rate(xeon_6242_24t(), netflix_shape()), 348790567.0,
+              1.0);
+}
+
+TEST(PerfModel, ScaledDatasetSharesCalibration) {
+  DatasetShape scaled = netflix_shape();
+  scaled.name = "netflix@0.01";
+  scaled.m /= 100;
+  scaled.n /= 100;
+  scaled.nnz /= 100;
+  EXPECT_NEAR(iw_update_rate(rtx_2080(), scaled),
+              iw_update_rate(rtx_2080(), netflix_shape()), 1.0);
+}
+
+TEST(PerfModel, RateRescalesWithLatentDimension) {
+  DatasetShape k64 = netflix_shape();
+  k64.k = 64;
+  // Eq. 2: per-update cost ~ linear in k, so rate at k=64 is ~2x of k=128.
+  EXPECT_NEAR(iw_update_rate(rtx_2080(), k64),
+              2.0 * iw_update_rate(rtx_2080(), netflix_shape()), 1.0);
+}
+
+TEST(PerfModel, AnalyticFallbackIsFiniteAndOrdered) {
+  const DatasetShape shape = unknown_shape();
+  const double cpu = iw_update_rate(xeon_6242_24t(), shape);
+  const double gpu = iw_update_rate(rtx_2080s(), shape);
+  EXPECT_GT(cpu, 1e6);
+  EXPECT_GT(gpu, cpu);  // the GPU's effective bandwidth dominates
+}
+
+TEST(PerfModel, ComputeSecondsLinearInShareApproximately) {
+  const DatasetShape shape = netflix_shape();
+  const DeviceSpec dev = rtx_2080();
+  const double full = compute_seconds(dev, shape, 1.0);
+  const double half = compute_seconds(dev, shape, 0.5);
+  EXPECT_GT(full, 0.0);
+  // Half the data takes at most half the time (drift makes it slightly
+  // faster per update, never slower).
+  EXPECT_LE(half, 0.5 * full + 1e-12);
+  EXPECT_GT(half, 0.4 * full);
+}
+
+TEST(PerfModel, ZeroShareCostsNothing) {
+  EXPECT_DOUBLE_EQ(compute_seconds(rtx_2080(), netflix_shape(), 0.0), 0.0);
+}
+
+TEST(PerfModel, RateDriftDirectionFollowsDeviceClass) {
+  const DatasetShape shape = r1_shape();
+  // GPU (positive compute_drift): smaller assignments run faster/update.
+  {
+    const DeviceSpec dev = rtx_2080();
+    double prev = update_rate(dev, shape, 0.05);
+    for (double share : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+      const double rate = update_rate(dev, shape, share);
+      EXPECT_LE(rate, prev * (1.0 + 1e-12)) << "share " << share;
+      prev = rate;
+    }
+  }
+  // CPU (negative compute_drift): smaller assignments amortize the fixed
+  // threading overheads worse, so per-update speed drops a little.
+  {
+    const DeviceSpec dev = xeon_6242_24t();
+    EXPECT_LT(update_rate(dev, shape, 0.1), update_rate(dev, shape, 1.0));
+    // ... but never below the drift floor.
+    EXPECT_GT(update_rate(dev, shape, 0.01),
+              0.8 * update_rate(dev, shape, 1.0));
+  }
+}
+
+TEST(PerfModel, MemBandwidthReproducesTable2) {
+  // Table 2: IW row at share 1.0; DP0 row at each worker's DP0 share
+  // (roughly 0.12 CPU / 0.38 GPU on Netflix).
+  EXPECT_NEAR(mem_bandwidth(xeon_6242_24t(), 1.0), 67.3001, 1e-3);
+  // CPU barely moves under DP0 (67.75 in the paper).
+  const double cpu_dp0 = mem_bandwidth(xeon_6242_24t(), 0.13);
+  EXPECT_GT(cpu_dp0, 67.3);
+  EXPECT_LT(cpu_dp0, 68.3);
+  // GPU creeps up toward 388.8.
+  const double gpu_dp0 = mem_bandwidth(rtx_2080(), 0.35);
+  EXPECT_GT(gpu_dp0, 385.0);
+  EXPECT_LT(gpu_dp0, 395.0);
+}
+
+TEST(PerfModel, CacheEfficiencyBoundedAndMonotone) {
+  const DeviceSpec cpu = xeon_6242_24t();
+  const DatasetShape r1 = r1_shape();
+  double prev = 0.0;
+  for (double share : {1.0, 0.5, 0.25, 0.1}) {
+    const double eff = cache_efficiency(cpu, r1, share);
+    EXPECT_GT(eff, 0.0);
+    EXPECT_LE(eff, 1.0);
+    EXPECT_GE(eff, prev);  // smaller assignment -> better locality
+    prev = eff;
+  }
+}
+
+TEST(PerfModel, SmallWorkingSetHitsFullEfficiency) {
+  const DatasetShape tiny{"", 100, 100, 10000, 8};
+  EXPECT_DOUBLE_EQ(cache_efficiency(xeon_6242_24t(), tiny, 1.0), 1.0);
+}
+
+TEST(PerfModel, GpusLessCacheSensitiveThanCpus) {
+  const DatasetShape r1 = r1_shape();
+  const double cpu_eff = cache_efficiency(xeon_6242_24t(), r1, 1.0);
+  const double gpu_eff = cache_efficiency(rtx_2080(), r1, 1.0);
+  EXPECT_LT(cpu_eff, 0.8);  // R1's huge Q wrecks CPU locality
+  EXPECT_GT(gpu_eff, cpu_eff);
+}
+
+TEST(PerfModel, AnalyticUpdateSecondsHasEq2Structure) {
+  const DatasetShape tiny{"", 100, 100, 10000, 8};  // cache-resident
+  const DeviceSpec dev = xeon_6242_24t();
+  const double t = analytic_update_seconds(dev, tiny, 1.0);
+  const double expected = 7.0 * 8 / (dev.compute_gflops * 1e9) +
+                          (16.0 * 8 + 4.0) / (dev.effective_bandwidth_gbs * 1e9);
+  EXPECT_NEAR(t, expected, expected * 1e-9);
+}
+
+}  // namespace
+}  // namespace hcc::sim

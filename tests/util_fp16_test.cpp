@@ -1,0 +1,146 @@
+// Tests for the IEEE-754 binary16 software codec (Strategy 2's substrate).
+#include "util/fp16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hcc::util {
+namespace {
+
+float roundtrip(float v) { return fp16_to_float(float_to_fp16(v)); }
+
+TEST(Fp16, ExactSmallValues) {
+  // Every value exactly representable in binary16 must round-trip exactly.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 4.5f, 100.0f, -3.75f,
+                  1024.0f, 0.25f, 0.125f, 65504.0f}) {
+    EXPECT_EQ(roundtrip(v), v) << "value " << v;
+  }
+}
+
+TEST(Fp16, SignedZeroPreserved) {
+  EXPECT_EQ(float_to_fp16(0.0f).bits, 0x0000);
+  EXPECT_EQ(float_to_fp16(-0.0f).bits, 0x8000);
+  EXPECT_TRUE(std::signbit(roundtrip(-0.0f)));
+}
+
+TEST(Fp16, InfinityAndOverflow) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(roundtrip(inf), inf);
+  EXPECT_EQ(roundtrip(-inf), -inf);
+  // Beyond the binary16 max (65504, rounding boundary 65520): -> inf.
+  EXPECT_EQ(roundtrip(70000.0f), inf);
+  EXPECT_EQ(roundtrip(-1e9f), -inf);
+  EXPECT_EQ(roundtrip(65520.0f), inf);  // exact tie rounds to even -> inf
+  EXPECT_EQ(roundtrip(65519.0f), 65504.0f);
+}
+
+TEST(Fp16, NanPreserved) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(roundtrip(nan)));
+}
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(float_to_fp16(1.0f).bits, 0x3c00);
+  EXPECT_EQ(float_to_fp16(-2.0f).bits, 0xc000);
+  EXPECT_EQ(float_to_fp16(65504.0f).bits, 0x7bff);
+  EXPECT_EQ(fp16_to_float(Half{0x3555}), 0.333251953125f);  // ~1/3
+}
+
+TEST(Fp16, SubnormalsRoundTrip) {
+  // Smallest positive binary16 subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(roundtrip(tiny), tiny);
+  EXPECT_EQ(roundtrip(3 * tiny), 3 * tiny);
+  // Half of it ties to even -> 0; anything above rounds up to tiny.
+  EXPECT_EQ(roundtrip(std::ldexp(1.0f, -25)), 0.0f);
+  EXPECT_EQ(roundtrip(std::ldexp(1.2f, -25)), tiny);
+  // Largest subnormal (just below 2^-14).
+  const float max_subnormal = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(roundtrip(max_subnormal), max_subnormal);
+}
+
+TEST(Fp16, UnderflowToZero) {
+  EXPECT_EQ(roundtrip(1e-9f), 0.0f);
+  EXPECT_EQ(roundtrip(-1e-9f), -0.0f);
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1+2^-10);
+  // ties go to the even significand, i.e. 1.0.
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(roundtrip(halfway), 1.0f);
+  // (1 + 2^-10) + 2^-11 is halfway with an odd low bit -> rounds up.
+  const float halfway_odd = 1.0f + std::ldexp(1.0f, -10) + std::ldexp(1.0f, -11);
+  EXPECT_EQ(roundtrip(halfway_odd), 1.0f + std::ldexp(2.0f, -10));
+}
+
+TEST(Fp16, BatchMatchesScalar) {
+  Rng rng(11);
+  std::vector<float> src(1000);
+  for (auto& v : src) v = static_cast<float>(rng.normal(0.0, 10.0));
+  std::vector<Half> half(src.size());
+  std::vector<float> out(src.size());
+  fp16_encode(src, half);
+  fp16_decode(half, out);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(half[i], float_to_fp16(src[i]));
+    EXPECT_EQ(out[i], fp16_to_float(half[i]));
+  }
+}
+
+// Property sweep: for normal-range magnitudes the relative error of the
+// round trip is bounded by half an ULP of the 10-bit significand.
+class Fp16ErrorBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fp16ErrorBound, RelativeErrorWithinHalfUlp) {
+  const int exponent = GetParam();
+  Rng rng(static_cast<std::uint64_t>(exponent + 100));
+  for (int i = 0; i < 2000; ++i) {
+    const float mag = std::ldexp(1.0f + static_cast<float>(rng.uniform()),
+                                 exponent);
+    for (float v : {mag, -mag}) {
+      const float rt = roundtrip(v);
+      EXPECT_LE(std::abs(rt - v), std::abs(v) * kFp16RelativeError)
+          << "value " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NormalRangeExponents, Fp16ErrorBound,
+                         ::testing::Values(-14, -10, -5, -1, 0, 1, 5, 10, 15));
+
+// Property: conversion is monotone (order-preserving) on finite values.
+TEST(Fp16, MonotoneOnRandomPairs) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const float a = static_cast<float>(rng.normal(0.0, 100.0));
+    const float b = static_cast<float>(rng.normal(0.0, 100.0));
+    const float ra = roundtrip(a);
+    const float rb = roundtrip(b);
+    if (a < b) {
+      EXPECT_LE(ra, rb) << a << " vs " << b;
+    } else if (a > b) {
+      EXPECT_GE(ra, rb) << a << " vs " << b;
+    }
+  }
+}
+
+// Exhaustive: every binary16 bit pattern decodes and re-encodes to itself
+// (the codec is the identity on its own range, NaNs aside).
+TEST(Fp16, ExhaustiveIdempotence) {
+  for (std::uint32_t bits = 0; bits <= 0xffff; ++bits) {
+    const Half h{static_cast<std::uint16_t>(bits)};
+    const float f = fp16_to_float(h);
+    if (std::isnan(f)) continue;  // NaN payloads may canonicalize
+    EXPECT_EQ(float_to_fp16(f), h) << "bits 0x" << std::hex << bits;
+  }
+}
+
+}  // namespace
+}  // namespace hcc::util

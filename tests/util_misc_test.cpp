@@ -1,0 +1,175 @@
+// Tests for thread pool, clocks, table/CSV writers, CLI parser and logging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/clock.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hcc::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitForwardsArguments) {
+  ThreadPool pool(2);
+  auto f = pool.submit([](int a, int b) { return a + b; }, 40, 2);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++touched[i];
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSmallRange) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 3, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPool, SizeReportsThreads) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance_to(1.0);  // never backwards
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance_to(2.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+TEST(Table, AlignsAndPads) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b"});  // short row padded
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/hccmf_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.row({"1", "two"});
+    csv.row({"with,comma", "with\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,two");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"with\"\"quote\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  // Note: a bare --flag consumes the next non-flag token as its value, so
+  // positionals must precede bare flags (documented parser behaviour).
+  const char* argv[] = {"prog", "positional", "--alpha=3", "--beta", "4.5",
+                        "--flag"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.get("alpha", std::int64_t{0}), 3);
+  EXPECT_DOUBLE_EQ(cli.get("beta", 0.0), 4.5);
+  EXPECT_TRUE(cli.get("flag", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get("missing", std::string("x")), "x");
+  EXPECT_EQ(cli.get("missing", std::int64_t{7}), 7);
+  EXPECT_FALSE(cli.get("missing", false));
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false"};
+  Cli cli(5, argv);
+  EXPECT_TRUE(cli.get("a", false));
+  EXPECT_TRUE(cli.get("b", false));
+  EXPECT_TRUE(cli.get("c", false));
+  EXPECT_FALSE(cli.get("d", true));
+}
+
+TEST(Log, LevelGatesOutput) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kOff);
+  log_line(LogLevel::kError, "must not crash while gated");
+  set_log_level(LogLevel::kDebug);
+  log_line(LogLevel::kDebug, "must not crash while enabled");
+  set_log_level(old);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hcc::util
