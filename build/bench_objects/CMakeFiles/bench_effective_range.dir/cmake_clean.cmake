@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_effective_range"
+  "../bench/bench_effective_range.pdb"
+  "CMakeFiles/bench_effective_range.dir/bench_effective_range.cpp.o"
+  "CMakeFiles/bench_effective_range.dir/bench_effective_range.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_effective_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_bandwidth"
+  "../bench/bench_table2_bandwidth.pdb"
+  "CMakeFiles/bench_table2_bandwidth.dir/bench_table2_bandwidth.cpp.o"
+  "CMakeFiles/bench_table2_bandwidth.dir/bench_table2_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

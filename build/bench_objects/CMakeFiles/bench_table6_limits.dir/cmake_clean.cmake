@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_limits"
+  "../bench/bench_table6_limits.pdb"
+  "CMakeFiles/bench_table6_limits.dir/bench_table6_limits.cpp.o"
+  "CMakeFiles/bench_table6_limits.dir/bench_table6_limits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_trainer.dir/cluster_trainer.cpp.o"
+  "CMakeFiles/cluster_trainer.dir/cluster_trainer.cpp.o.d"
+  "cluster_trainer"
+  "cluster_trainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

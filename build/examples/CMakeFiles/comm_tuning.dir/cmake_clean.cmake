@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_tuning.dir/comm_tuning.cpp.o"
+  "CMakeFiles/comm_tuning.dir/comm_tuning.cpp.o.d"
+  "comm_tuning"
+  "comm_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcc_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hcc_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/hcc_cluster.dir/hierarchical.cpp.o"
+  "CMakeFiles/hcc_cluster.dir/hierarchical.cpp.o.d"
+  "libhcc_cluster.a"
+  "libhcc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

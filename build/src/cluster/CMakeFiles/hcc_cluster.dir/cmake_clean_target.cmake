@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhcc_cluster.a"
+)

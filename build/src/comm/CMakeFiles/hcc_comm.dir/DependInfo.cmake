@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/backend.cpp" "src/comm/CMakeFiles/hcc_comm.dir/backend.cpp.o" "gcc" "src/comm/CMakeFiles/hcc_comm.dir/backend.cpp.o.d"
+  "/root/repo/src/comm/codec.cpp" "src/comm/CMakeFiles/hcc_comm.dir/codec.cpp.o" "gcc" "src/comm/CMakeFiles/hcc_comm.dir/codec.cpp.o.d"
+  "/root/repo/src/comm/payload.cpp" "src/comm/CMakeFiles/hcc_comm.dir/payload.cpp.o" "gcc" "src/comm/CMakeFiles/hcc_comm.dir/payload.cpp.o.d"
+  "/root/repo/src/comm/strategy.cpp" "src/comm/CMakeFiles/hcc_comm.dir/strategy.cpp.o" "gcc" "src/comm/CMakeFiles/hcc_comm.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hcc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

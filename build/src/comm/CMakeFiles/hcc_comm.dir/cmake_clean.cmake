@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcc_comm.dir/backend.cpp.o"
+  "CMakeFiles/hcc_comm.dir/backend.cpp.o.d"
+  "CMakeFiles/hcc_comm.dir/codec.cpp.o"
+  "CMakeFiles/hcc_comm.dir/codec.cpp.o.d"
+  "CMakeFiles/hcc_comm.dir/payload.cpp.o"
+  "CMakeFiles/hcc_comm.dir/payload.cpp.o.d"
+  "CMakeFiles/hcc_comm.dir/strategy.cpp.o"
+  "CMakeFiles/hcc_comm.dir/strategy.cpp.o.d"
+  "libhcc_comm.a"
+  "libhcc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

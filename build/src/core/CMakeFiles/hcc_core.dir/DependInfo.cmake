@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/hcc_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/hcc_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/hcc_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/hcc_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/data_manager.cpp" "src/core/CMakeFiles/hcc_core.dir/data_manager.cpp.o" "gcc" "src/core/CMakeFiles/hcc_core.dir/data_manager.cpp.o.d"
+  "/root/repo/src/core/hccmf.cpp" "src/core/CMakeFiles/hcc_core.dir/hccmf.cpp.o" "gcc" "src/core/CMakeFiles/hcc_core.dir/hccmf.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/hcc_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/hcc_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/report_format.cpp" "src/core/CMakeFiles/hcc_core.dir/report_format.cpp.o" "gcc" "src/core/CMakeFiles/hcc_core.dir/report_format.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/hcc_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/hcc_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/hcc_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/hcc_core.dir/tuner.cpp.o.d"
+  "/root/repo/src/core/worker.cpp" "src/core/CMakeFiles/hcc_core.dir/worker.cpp.o" "gcc" "src/core/CMakeFiles/hcc_core.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mf/CMakeFiles/hcc_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hcc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hcc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

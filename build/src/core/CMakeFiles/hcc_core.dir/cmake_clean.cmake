@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcc_core.dir/adaptive.cpp.o"
+  "CMakeFiles/hcc_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/hcc_core.dir/cost_model.cpp.o"
+  "CMakeFiles/hcc_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hcc_core.dir/data_manager.cpp.o"
+  "CMakeFiles/hcc_core.dir/data_manager.cpp.o.d"
+  "CMakeFiles/hcc_core.dir/hccmf.cpp.o"
+  "CMakeFiles/hcc_core.dir/hccmf.cpp.o.d"
+  "CMakeFiles/hcc_core.dir/partition.cpp.o"
+  "CMakeFiles/hcc_core.dir/partition.cpp.o.d"
+  "CMakeFiles/hcc_core.dir/report_format.cpp.o"
+  "CMakeFiles/hcc_core.dir/report_format.cpp.o.d"
+  "CMakeFiles/hcc_core.dir/server.cpp.o"
+  "CMakeFiles/hcc_core.dir/server.cpp.o.d"
+  "CMakeFiles/hcc_core.dir/tuner.cpp.o"
+  "CMakeFiles/hcc_core.dir/tuner.cpp.o.d"
+  "CMakeFiles/hcc_core.dir/worker.cpp.o"
+  "CMakeFiles/hcc_core.dir/worker.cpp.o.d"
+  "libhcc_core.a"
+  "libhcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

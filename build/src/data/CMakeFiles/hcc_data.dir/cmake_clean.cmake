@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcc_data.dir/datasets.cpp.o"
+  "CMakeFiles/hcc_data.dir/datasets.cpp.o.d"
+  "CMakeFiles/hcc_data.dir/grid.cpp.o"
+  "CMakeFiles/hcc_data.dir/grid.cpp.o.d"
+  "CMakeFiles/hcc_data.dir/io.cpp.o"
+  "CMakeFiles/hcc_data.dir/io.cpp.o.d"
+  "CMakeFiles/hcc_data.dir/movielens_io.cpp.o"
+  "CMakeFiles/hcc_data.dir/movielens_io.cpp.o.d"
+  "CMakeFiles/hcc_data.dir/rating_matrix.cpp.o"
+  "CMakeFiles/hcc_data.dir/rating_matrix.cpp.o.d"
+  "libhcc_data.a"
+  "libhcc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mf/batched.cpp" "src/mf/CMakeFiles/hcc_mf.dir/batched.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/batched.cpp.o.d"
+  "/root/repo/src/mf/biased.cpp" "src/mf/CMakeFiles/hcc_mf.dir/biased.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/biased.cpp.o.d"
+  "/root/repo/src/mf/dsgd.cpp" "src/mf/CMakeFiles/hcc_mf.dir/dsgd.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/dsgd.cpp.o.d"
+  "/root/repo/src/mf/fpsgd.cpp" "src/mf/CMakeFiles/hcc_mf.dir/fpsgd.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/fpsgd.cpp.o.d"
+  "/root/repo/src/mf/hogwild.cpp" "src/mf/CMakeFiles/hcc_mf.dir/hogwild.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/hogwild.cpp.o.d"
+  "/root/repo/src/mf/lr_schedule.cpp" "src/mf/CMakeFiles/hcc_mf.dir/lr_schedule.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/lr_schedule.cpp.o.d"
+  "/root/repo/src/mf/metrics.cpp" "src/mf/CMakeFiles/hcc_mf.dir/metrics.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/metrics.cpp.o.d"
+  "/root/repo/src/mf/model.cpp" "src/mf/CMakeFiles/hcc_mf.dir/model.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/model.cpp.o.d"
+  "/root/repo/src/mf/model_io.cpp" "src/mf/CMakeFiles/hcc_mf.dir/model_io.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/model_io.cpp.o.d"
+  "/root/repo/src/mf/nomad.cpp" "src/mf/CMakeFiles/hcc_mf.dir/nomad.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/nomad.cpp.o.d"
+  "/root/repo/src/mf/recommend.cpp" "src/mf/CMakeFiles/hcc_mf.dir/recommend.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/recommend.cpp.o.d"
+  "/root/repo/src/mf/trainer.cpp" "src/mf/CMakeFiles/hcc_mf.dir/trainer.cpp.o" "gcc" "src/mf/CMakeFiles/hcc_mf.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/hcc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcc_mf.dir/batched.cpp.o"
+  "CMakeFiles/hcc_mf.dir/batched.cpp.o.d"
+  "CMakeFiles/hcc_mf.dir/biased.cpp.o"
+  "CMakeFiles/hcc_mf.dir/biased.cpp.o.d"
+  "CMakeFiles/hcc_mf.dir/dsgd.cpp.o"
+  "CMakeFiles/hcc_mf.dir/dsgd.cpp.o.d"
+  "CMakeFiles/hcc_mf.dir/fpsgd.cpp.o"
+  "CMakeFiles/hcc_mf.dir/fpsgd.cpp.o.d"
+  "CMakeFiles/hcc_mf.dir/hogwild.cpp.o"
+  "CMakeFiles/hcc_mf.dir/hogwild.cpp.o.d"
+  "CMakeFiles/hcc_mf.dir/lr_schedule.cpp.o"
+  "CMakeFiles/hcc_mf.dir/lr_schedule.cpp.o.d"
+  "CMakeFiles/hcc_mf.dir/metrics.cpp.o"
+  "CMakeFiles/hcc_mf.dir/metrics.cpp.o.d"
+  "CMakeFiles/hcc_mf.dir/model.cpp.o"
+  "CMakeFiles/hcc_mf.dir/model.cpp.o.d"
+  "CMakeFiles/hcc_mf.dir/model_io.cpp.o"
+  "CMakeFiles/hcc_mf.dir/model_io.cpp.o.d"
+  "CMakeFiles/hcc_mf.dir/nomad.cpp.o"
+  "CMakeFiles/hcc_mf.dir/nomad.cpp.o.d"
+  "CMakeFiles/hcc_mf.dir/recommend.cpp.o"
+  "CMakeFiles/hcc_mf.dir/recommend.cpp.o.d"
+  "CMakeFiles/hcc_mf.dir/trainer.cpp.o"
+  "CMakeFiles/hcc_mf.dir/trainer.cpp.o.d"
+  "libhcc_mf.a"
+  "libhcc_mf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcc_mf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

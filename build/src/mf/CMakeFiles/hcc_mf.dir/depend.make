@@ -1,0 +1,2 @@
+# Empty dependencies file for hcc_mf.
+# This may be replaced when dependencies are built.

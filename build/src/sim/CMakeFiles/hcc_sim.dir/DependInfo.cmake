@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/hcc_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/hcc_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/hcc_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/hcc_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/hcc_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/hcc_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sim/timing.cpp" "src/sim/CMakeFiles/hcc_sim.dir/timing.cpp.o" "gcc" "src/sim/CMakeFiles/hcc_sim.dir/timing.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/sim/CMakeFiles/hcc_sim.dir/trace_export.cpp.o" "gcc" "src/sim/CMakeFiles/hcc_sim.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/hcc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcc_sim.dir/device.cpp.o"
+  "CMakeFiles/hcc_sim.dir/device.cpp.o.d"
+  "CMakeFiles/hcc_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/hcc_sim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/hcc_sim.dir/platform.cpp.o"
+  "CMakeFiles/hcc_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/hcc_sim.dir/timing.cpp.o"
+  "CMakeFiles/hcc_sim.dir/timing.cpp.o.d"
+  "CMakeFiles/hcc_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/hcc_sim.dir/trace_export.cpp.o.d"
+  "libhcc_sim.a"
+  "libhcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcc_util.dir/cli.cpp.o"
+  "CMakeFiles/hcc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hcc_util.dir/csv.cpp.o"
+  "CMakeFiles/hcc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hcc_util.dir/fp16.cpp.o"
+  "CMakeFiles/hcc_util.dir/fp16.cpp.o.d"
+  "CMakeFiles/hcc_util.dir/log.cpp.o"
+  "CMakeFiles/hcc_util.dir/log.cpp.o.d"
+  "CMakeFiles/hcc_util.dir/rng.cpp.o"
+  "CMakeFiles/hcc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hcc_util.dir/table.cpp.o"
+  "CMakeFiles/hcc_util.dir/table.cpp.o.d"
+  "CMakeFiles/hcc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hcc_util.dir/thread_pool.cpp.o.d"
+  "libhcc_util.a"
+  "libhcc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

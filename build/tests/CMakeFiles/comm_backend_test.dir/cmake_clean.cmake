@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_backend_test.dir/comm_backend_test.cpp.o"
+  "CMakeFiles/comm_backend_test.dir/comm_backend_test.cpp.o.d"
+  "comm_backend_test"
+  "comm_backend_test.pdb"
+  "comm_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_codec_test.dir/comm_codec_test.cpp.o"
+  "CMakeFiles/comm_codec_test.dir/comm_codec_test.cpp.o.d"
+  "comm_codec_test"
+  "comm_codec_test.pdb"
+  "comm_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_sparse_test.dir/comm_sparse_test.cpp.o"
+  "CMakeFiles/comm_sparse_test.dir/comm_sparse_test.cpp.o.d"
+  "comm_sparse_test"
+  "comm_sparse_test.pdb"
+  "comm_sparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_strategy_test.dir/comm_strategy_test.cpp.o"
+  "CMakeFiles/comm_strategy_test.dir/comm_strategy_test.cpp.o.d"
+  "comm_strategy_test"
+  "comm_strategy_test.pdb"
+  "comm_strategy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hccmf_test.dir/core_hccmf_test.cpp.o"
+  "CMakeFiles/core_hccmf_test.dir/core_hccmf_test.cpp.o.d"
+  "core_hccmf_test"
+  "core_hccmf_test.pdb"
+  "core_hccmf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hccmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_report_format_test.dir/core_report_format_test.cpp.o"
+  "CMakeFiles/core_report_format_test.dir/core_report_format_test.cpp.o.d"
+  "core_report_format_test"
+  "core_report_format_test.pdb"
+  "core_report_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_report_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data_movielens_test.cpp" "tests/CMakeFiles/data_movielens_test.dir/data_movielens_test.cpp.o" "gcc" "tests/CMakeFiles/data_movielens_test.dir/data_movielens_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hcc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hcc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mf/CMakeFiles/hcc_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hcc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_biased_test.dir/mf_biased_test.cpp.o"
+  "CMakeFiles/mf_biased_test.dir/mf_biased_test.cpp.o.d"
+  "mf_biased_test"
+  "mf_biased_test.pdb"
+  "mf_biased_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_biased_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_kernel_test.dir/mf_kernel_test.cpp.o"
+  "CMakeFiles/mf_kernel_test.dir/mf_kernel_test.cpp.o.d"
+  "mf_kernel_test"
+  "mf_kernel_test.pdb"
+  "mf_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

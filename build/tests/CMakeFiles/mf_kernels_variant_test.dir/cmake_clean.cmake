@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_kernels_variant_test.dir/mf_kernels_variant_test.cpp.o"
+  "CMakeFiles/mf_kernels_variant_test.dir/mf_kernels_variant_test.cpp.o.d"
+  "mf_kernels_variant_test"
+  "mf_kernels_variant_test.pdb"
+  "mf_kernels_variant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_kernels_variant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_lr_schedule_test.dir/mf_lr_schedule_test.cpp.o"
+  "CMakeFiles/mf_lr_schedule_test.dir/mf_lr_schedule_test.cpp.o.d"
+  "mf_lr_schedule_test"
+  "mf_lr_schedule_test.pdb"
+  "mf_lr_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_lr_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

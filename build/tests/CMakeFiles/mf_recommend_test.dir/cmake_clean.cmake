@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_recommend_test.dir/mf_recommend_test.cpp.o"
+  "CMakeFiles/mf_recommend_test.dir/mf_recommend_test.cpp.o.d"
+  "mf_recommend_test"
+  "mf_recommend_test.pdb"
+  "mf_recommend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_recommend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

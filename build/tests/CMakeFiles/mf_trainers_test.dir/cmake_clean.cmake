@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_trainers_test.dir/mf_trainers_test.cpp.o"
+  "CMakeFiles/mf_trainers_test.dir/mf_trainers_test.cpp.o.d"
+  "mf_trainers_test"
+  "mf_trainers_test.pdb"
+  "mf_trainers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_trainers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
