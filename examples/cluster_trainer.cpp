@@ -6,15 +6,22 @@
 //
 //   ./cluster_trainer [--nodes=3] [--scale=0.002] [--epochs=8]
 //                     [--local_epochs=1] [--network=100g|10g|ib]
+//                     [--trace-out=trace.json] [--metrics-out=metrics.json]
 #include <iostream>
 
 #include "cluster/hierarchical.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace hcc;
   const util::Cli cli(argc, argv);
+  const std::string trace_out = cli.get("trace-out", std::string());
+  const std::string metrics_out = cli.get("metrics-out", std::string());
+  if (!trace_out.empty()) obs::trace().set_enabled(true);
 
   const std::size_t nodes =
       static_cast<std::size_t>(cli.get("nodes", std::int64_t{3}));
@@ -72,5 +79,23 @@ int main(int argc, char** argv) {
             << util::Table::num(report.updates_per_s / 1e6, 1)
             << " Mupdates/s, utilization "
             << util::Table::num(100 * report.utilization, 1) << "%\n";
+
+  if (!trace_out.empty()) {
+    if (obs::write_chrome_trace(obs::trace(), trace_out)) {
+      std::cout << "trace: " << obs::trace().size() << " spans -> "
+                << trace_out << " (open in chrome://tracing)\n";
+    } else {
+      std::cerr << "failed to write trace to " << trace_out << '\n';
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (obs::write_metrics_json(obs::registry(), metrics_out)) {
+      std::cout << "metrics: " << metrics_out << '\n';
+    } else {
+      std::cerr << "failed to write metrics to " << metrics_out << '\n';
+      return 1;
+    }
+  }
   return 0;
 }

@@ -3,11 +3,20 @@
 // auto partition strategy, Q-only + FP16 communication, the paper's virtual
 // multi-CPU/GPU workstation.
 //
+// With --trace-out the instrumented runtime records every pull / compute /
+// push / sync span and writes a chrome://tracing JSON; --metrics-out dumps
+// the metrics registry (per-worker phase histograms, wire counters, cost-
+// model drift gauges) as JSON.
+//
 //   ./quickstart [--scale=0.002] [--epochs=10] [--k=16] [--verbose]
+//                [--trace-out=trace.json] [--metrics-out=metrics.json]
 #include <cstdio>
 #include <iostream>
 
 #include "hccmf.hpp"  // the umbrella header: the whole public API
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -18,6 +27,9 @@ int main(int argc, char** argv) {
   if (cli.get("verbose", false)) {
     util::set_log_level(util::LogLevel::kInfo);
   }
+  const std::string trace_out = cli.get("trace-out", std::string());
+  const std::string metrics_out = cli.get("metrics-out", std::string());
+  if (!trace_out.empty()) obs::trace().set_enabled(true);
 
   // 1. A rating matrix.  Real applications call data::load_text(); here we
   //    synthesize one with the Netflix dataset's shape, scaled down.
@@ -68,5 +80,26 @@ int main(int argc, char** argv) {
             << util::Table::num(
                    static_cast<double>(report.comm_totals.wire_bytes) / 1e6, 2)
             << " MB in " << report.comm_totals.copies << " transfers\n";
+
+  const std::string drift = core::format_drift_table(report);
+  if (!drift.empty()) std::cout << '\n' << drift;
+
+  if (!trace_out.empty()) {
+    if (obs::write_chrome_trace(obs::trace(), trace_out)) {
+      std::cout << "\ntrace: " << obs::trace().size() << " spans -> "
+                << trace_out << " (open in chrome://tracing)\n";
+    } else {
+      std::cerr << "failed to write trace to " << trace_out << '\n';
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (obs::write_metrics_json(obs::registry(), metrics_out)) {
+      std::cout << "metrics: " << metrics_out << '\n';
+    } else {
+      std::cerr << "failed to write metrics to " << metrics_out << '\n';
+      return 1;
+    }
+  }
   return 0;
 }

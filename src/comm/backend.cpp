@@ -4,30 +4,54 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/span.hpp"
+#include "util/clock.hpp"
+
 namespace hcc::comm {
+
+void CommBackend::ensure_metrics() {
+  if (wire_bytes_counter_ != nullptr) return;
+  auto& reg = obs::registry();
+  const std::string base = "comm." + name() + ".";
+  wire_bytes_counter_ = &reg.counter(base + "wire_bytes");
+  transfers_counter_ = &reg.counter(base + "transfers");
+  messages_counter_ = &reg.counter(base + "messages");
+  codec_hist_ = &reg.histogram(base + "codec_s");
+}
 
 void ShmComm::transfer(std::span<const float> src, std::span<float> dst,
                        const Codec& codec) {
   assert(src.size() == dst.size());
+  ensure_metrics();
+  obs::ScopedSpan span("transfer", obs::kCommCategory);
   const std::size_t wire = codec.encoded_bytes(src.size());
   if (shared_buffer_.size() < wire) shared_buffer_.resize(wire);
   // Sender encodes straight into the shared mapping; receiver decodes
   // straight out of it.  One copy across the bus (Section 3.5: "the data
   // copy usually happens only once in one epoch").
+  util::Stopwatch codec_watch;
   codec.encode(src, shared_buffer_);
   codec.decode(std::span<const std::byte>(shared_buffer_.data(), wire), dst);
+  codec_hist_->observe(codec_watch.seconds());
   stats_.wire_bytes += wire;
   stats_.copies += 1;
+  wire_bytes_counter_->add(wire);
+  transfers_counter_->add(1);
+  span.arg("bytes", std::to_string(wire));
 }
 
 void BrokerComm::transfer(std::span<const float> src, std::span<float> dst,
                           const Codec& codec) {
   assert(src.size() == dst.size());
+  ensure_metrics();
+  obs::ScopedSpan span("transfer", obs::kCommCategory);
   const std::size_t wire = codec.encoded_bytes(src.size());
 
   // Copy 1: serialize into the sender's staging area.
   if (send_staging_.size() < wire) send_staging_.resize(wire);
+  util::Stopwatch codec_watch;
   codec.encode(src, send_staging_);
+  double codec_s = codec_watch.seconds();
 
   // Copy 2: chunk the staging area into broker messages.
   std::size_t offset = 0;
@@ -37,6 +61,7 @@ void BrokerComm::transfer(std::span<const float> src, std::span<float> dst,
                                send_staging_.begin() + offset + len);
     offset += len;
     stats_.messages += 1;
+    messages_counter_->add(1);
   }
 
   // Copy 3: the broker delivers messages into the receiver's buffer.
@@ -50,9 +75,15 @@ void BrokerComm::transfer(std::span<const float> src, std::span<float> dst,
   }
 
   // Deserialize out of the receive buffer.
+  codec_watch.reset();
   codec.decode(std::span<const std::byte>(recv_buffer_.data(), wire), dst);
+  codec_s += codec_watch.seconds();
+  codec_hist_->observe(codec_s);
   stats_.wire_bytes += wire;
   stats_.copies += 3;
+  wire_bytes_counter_->add(wire);
+  transfers_counter_->add(1);
+  span.arg("bytes", std::to_string(wire));
 }
 
 }  // namespace hcc::comm

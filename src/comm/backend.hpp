@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "comm/codec.hpp"
+#include "obs/metrics.hpp"
 
 namespace hcc::comm {
 
@@ -59,7 +60,16 @@ class CommBackend {
   void reset_stats() noexcept { stats_ = {}; }
 
  protected:
+  /// Resolves this backend's per-strategy registry metrics on first use
+  /// (`comm.<name>.wire_bytes`, `.transfers`, `.messages`, `.codec_s`).
+  /// Lazy because name() is virtual and the registry lookup locks.
+  void ensure_metrics();
+
   TransferStats stats_;
+  obs::Counter* wire_bytes_counter_ = nullptr;
+  obs::Counter* transfers_counter_ = nullptr;
+  obs::Counter* messages_counter_ = nullptr;
+  obs::Histogram* codec_hist_ = nullptr;
 };
 
 /// "COMM": shared-buffer transport, one wire copy.

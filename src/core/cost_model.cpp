@@ -23,6 +23,21 @@ double predicted_worker_seconds(const sim::DeviceSpec& device,
   return (pull_s + push_s) / streams + comp_s;
 }
 
+PhaseCost predicted_phase_cost(const sim::DeviceSpec& device,
+                               const sim::DatasetShape& shape, double share,
+                               const sim::CommPlan& comm,
+                               const sim::ServerSpec& server) {
+  PhaseCost cost;
+  const double bus_gbs =
+      sim::bus_bandwidth_gbs(device.bus) * comm.bus_efficiency;
+  cost.pull_s = comm.pull_bytes / (bus_gbs * kGiga);
+  cost.push_s = comm.push_bytes / (bus_gbs * kGiga);
+  cost.compute_s =
+      sim::compute_seconds(device, shape, share) + device.epoch_overhead_s;
+  cost.sync_s = predicted_sync_seconds(server, comm);
+  return cost;
+}
+
 double predicted_sync_seconds(const sim::ServerSpec& server,
                               const sim::CommPlan& comm) {
   const double elements = comm.sync_bytes / 4.0;

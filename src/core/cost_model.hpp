@@ -36,6 +36,23 @@ double predicted_worker_seconds(const sim::DeviceSpec& device,
                                 const sim::DatasetShape& shape, double share,
                                 const sim::CommPlan& comm);
 
+/// One worker's epoch decomposed into the Eq. 1-5 phase terms — the
+/// prediction the drift report (obs/drift.hpp) checks against measured
+/// sim::WorkerTiming phase totals.  pull/push are *total* transfer time
+/// (matching WorkerTiming's accounting; stream overlap hides part of it
+/// from T_i but not from the phase totals), compute includes the device's
+/// fixed epoch overhead, sync is the server-side merge share (Eq. 3).
+struct PhaseCost {
+  double pull_s = 0.0;
+  double compute_s = 0.0;
+  double push_s = 0.0;
+  double sync_s = 0.0;
+};
+PhaseCost predicted_phase_cost(const sim::DeviceSpec& device,
+                               const sim::DatasetShape& shape, double share,
+                               const sim::CommPlan& comm,
+                               const sim::ServerSpec& server);
+
 /// Predicted server time to merge one worker's push (Eq. 3 per-worker term).
 double predicted_sync_seconds(const sim::ServerSpec& server,
                               const sim::CommPlan& comm);

@@ -7,9 +7,40 @@
 
 #include "data/grid.hpp"
 #include "mf/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/clock.hpp"
 #include "util/log.hpp"
 
 namespace hcc::core {
+
+namespace {
+
+/// Eq. 1-5 phase predictions for every worker of an epoch config.  Workers
+/// the timing engine skips (no share, no communication) predict zero so
+/// they do not register as drift.
+std::vector<obs::PhaseTimes> predicted_phases(const sim::EpochConfig& cfg) {
+  std::vector<obs::PhaseTimes> predicted(cfg.workers.size());
+  for (std::size_t w = 0; w < cfg.workers.size(); ++w) {
+    const sim::WorkerPlan& plan = cfg.workers[w];
+    if (plan.share <= 0.0 && plan.comm.pull_bytes <= 0.0) continue;
+    const PhaseCost cost = predicted_phase_cost(
+        plan.device, cfg.shape, plan.share, plan.comm, cfg.server);
+    predicted[w] = {cost.pull_s, cost.compute_s, cost.push_s, cost.sync_s};
+  }
+  return predicted;
+}
+
+std::vector<obs::PhaseTimes> timing_phases(const sim::EpochTiming& timing) {
+  std::vector<obs::PhaseTimes> measured(timing.workers.size());
+  for (std::size_t w = 0; w < timing.workers.size(); ++w) {
+    const sim::WorkerTiming& t = timing.workers[w];
+    measured[w] = {t.pull_s, t.compute_s, t.push_s, t.sync_s};
+  }
+  return measured;
+}
+
+}  // namespace
 
 HccMf::HccMf(HccMfConfig config) : config_(std::move(config)) {
   if (config_.platform.workers.empty()) {
@@ -63,6 +94,17 @@ void HccMf::accumulate_timing(TrainReport& report, const DataManager& manager,
     for (const auto& w : er.timing.workers) {
       report.comm_virtual_s += w.pull_s + w.push_s;
     }
+
+    // Cost-model drift: what the epoch actually took (timing engine) vs
+    // what Eq. 1-5 predicted for the live plan.  Published as gauges each
+    // epoch so the registry always holds the freshest verification signal.
+    er.drift = obs::compute_drift(predicted_phases(cfg),
+                                  timing_phases(er.timing));
+    obs::publish_drift(obs::registry(), er.drift);
+    util::log_kv(util::LogLevel::kDebug, "epoch_drift",
+                 {util::kv("epoch", e),
+                  util::kv("max_abs_rel_err", er.drift.max_abs_rel_err),
+                  util::kv("mean_abs_rel_err", er.drift.mean_abs_rel_err)});
     if (controller) {
       std::vector<double> compute;
       compute.reserve(er.timing.workers.size());
@@ -175,7 +217,10 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
       comm::effective_mode(config_.comm, shape) == comm::PayloadMode::kPQ;
 
   float lr = config_.sgd.learn_rate;
+  double prev_sync_s = 0.0;
   for (std::uint32_t epoch = 0; epoch < config_.sgd.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("epoch " + std::to_string(epoch),
+                               obs::kEpochCategory);
     // pull -> compute -> push, chunked per worker by its stream depth
     // (Figure 6's pipelines; chunk boundaries act as the async syncs).
     for (std::uint32_t chunk = 0; chunk < max_streams; ++chunk) {
@@ -194,6 +239,28 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
     }
     if (quantizing_pq_each_epoch) server.roundtrip_p_through_codec();
     lr *= config_.sgd.lr_decay;
+
+    // Harvest the instrumented wall-clock phase times into the same
+    // EpochTiming shape the sim layer renders (CSV / Chrome trace).
+    EpochReport& er = report.epochs[epoch];
+    er.measured.workers.resize(workers.size());
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      const obs::PhaseTimes t = workers[w].take_measured();
+      er.measured.workers[w].pull_s = t.pull_s;
+      er.measured.workers[w].compute_s = t.compute_s;
+      er.measured.workers[w].push_s = t.push_s;
+      er.measured.workers[w].sync_s = t.sync_s;
+      util::log_kv(util::LogLevel::kDebug, "epoch_timing",
+                   {util::kv("epoch", epoch),
+                    util::kv("worker", static_cast<std::uint32_t>(w)),
+                    util::kv("pull_s", t.pull_s),
+                    util::kv("compute_s", t.compute_s),
+                    util::kv("push_s", t.push_s),
+                    util::kv("sync_s", t.sync_s)});
+    }
+    er.measured.server_busy_s = server.measured_sync_s() - prev_sync_s;
+    prev_sync_s = server.measured_sync_s();
+    er.measured.epoch_s = epoch_span.stop();
 
     if (test_ratings != nullptr && config_.evaluate_each_epoch) {
       report.epochs[epoch].test_rmse = mf::rmse(server.model(), *test_ratings);

@@ -25,6 +25,7 @@
 #include "core/worker.hpp"
 #include "data/datasets.hpp"
 #include "mf/model.hpp"
+#include "obs/drift.hpp"
 #include "sim/platform.hpp"
 
 namespace hcc::core {
@@ -62,6 +63,15 @@ struct EpochReport {
   double cumulative_virtual_s = 0.0;
   double test_rmse = 0.0;             ///< NaN when not evaluated
   sim::EpochTiming timing;            ///< full pull/compute/push/sync detail
+  /// Cost-model drift: simulated ("measured") phase times of this epoch vs
+  /// the Eq. 1-5 predictions for the live plan — the verification signal
+  /// behind DP1/DP2 and the adaptive controller.
+  obs::DriftReport drift;
+  /// Wall-clock phase times of the functional workers this epoch (real
+  /// measured spans; empty for simulate()-only runs).  Same shape as
+  /// `timing`, so every exporter that renders simulated epochs renders
+  /// measured ones too.
+  sim::EpochTiming measured;
 };
 
 /// The result of a run.

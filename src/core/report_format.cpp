@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/drift.hpp"
 #include "util/table.hpp"
 
 namespace hcc::core {
@@ -43,6 +44,13 @@ std::string format_report(const TrainReport& report) {
   if (report.repartitions > 0) {
     os << "adaptive repartitions: " << report.repartitions << '\n';
   }
+  if (!report.epochs.empty() &&
+      !report.epochs.back().drift.workers.empty()) {
+    const obs::DriftReport& drift = report.epochs.back().drift;
+    os << "cost-model drift (last epoch): max "
+       << util::Table::num(100.0 * drift.max_abs_rel_err, 1) << "%, mean "
+       << util::Table::num(100.0 * drift.mean_abs_rel_err, 1) << "%\n";
+  }
   return os.str();
 }
 
@@ -63,6 +71,14 @@ std::string format_epoch_table(const TrainReport& report,
   std::ostringstream os;
   table.print(os);
   return os.str();
+}
+
+std::string format_drift_table(const TrainReport& report,
+                               const std::vector<std::string>& worker_names) {
+  if (report.epochs.empty() || report.epochs.back().drift.workers.empty()) {
+    return "";
+  }
+  return obs::format_drift(report.epochs.back().drift, worker_names);
 }
 
 }  // namespace hcc::core

@@ -22,4 +22,11 @@ std::string format_report(const TrainReport& report);
 std::string format_epoch_table(const TrainReport& report,
                                std::uint32_t stride = 1);
 
+/// Cost-model drift table of the last epoch (measured phase times vs the
+/// Eq. 1-5 predictions), one row per worker; empty string when the report
+/// carries no drift data.  `worker_names` labels rows (device names).
+std::string format_drift_table(const TrainReport& report,
+                               const std::vector<std::string>& worker_names =
+                                   {});
+
 }  // namespace hcc::core

@@ -3,13 +3,23 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace hcc::core {
 
+namespace {
+// The server owns Chrome-trace track 0 (workers are 1..N).
+constexpr std::uint32_t kServerTrack = 0;
+}  // namespace
+
 Server::Server(mf::FactorModel global, const comm::CommConfig& config)
-    : global_(std::move(global)), codec_(comm::make_codec(config)) {}
+    : global_(std::move(global)), codec_(comm::make_codec(config)) {
+  obs::trace().set_track_name(kServerTrack, "server (sync)");
+}
 
 void Server::sync_q(std::span<const float> pushed,
                     std::span<const float> snapshot, float weight) {
+  obs::ScopedSpan span("sync", obs::kPhaseCategory, kServerTrack);
   std::span<float> q = global_.q_data();
   assert(pushed.size() == q.size() && snapshot.size() == q.size());
   // Eq. 3's three read/write memory operations and one multiply-add per
@@ -18,11 +28,13 @@ void Server::sync_q(std::span<const float> pushed,
     q[j] += weight * (pushed[j] - snapshot[j]);
   }
   ++sync_count_;
+  measured_sync_s_ += span.stop();
 }
 
 void Server::sync_q(std::span<const float> pushed,
                     std::span<const float> snapshot,
                     std::span<const float> item_weights) {
+  obs::ScopedSpan span("sync", obs::kPhaseCategory, kServerTrack);
   std::span<float> q = global_.q_data();
   assert(pushed.size() == q.size() && snapshot.size() == q.size());
   const std::uint32_t k = global_.k();
@@ -36,6 +48,7 @@ void Server::sync_q(std::span<const float> pushed,
     }
   }
   ++sync_count_;
+  measured_sync_s_ += span.stop();
 }
 
 void Server::roundtrip_p_through_codec() {

@@ -59,10 +59,15 @@ class Server {
   /// Number of sync_q merges performed (tests assert one per worker-push).
   std::uint64_t sync_count() const noexcept { return sync_count_; }
 
+  /// Wall-clock seconds the sync thread has spent merging — the measured
+  /// counterpart of Eq. 3's T_sync, across all workers.
+  double measured_sync_s() const noexcept { return measured_sync_s_; }
+
  private:
   mf::FactorModel global_;
   std::unique_ptr<comm::Codec> codec_;
   std::uint64_t sync_count_ = 0;
+  double measured_sync_s_ = 0.0;
 };
 
 }  // namespace hcc::core

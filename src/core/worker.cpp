@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/clock.hpp"
+
 namespace hcc::core {
+
+namespace {
+// Workers occupy Chrome-trace tracks 1..N; track 0 is the server.
+std::uint32_t track_of(std::uint32_t worker_id) { return worker_id + 1; }
+}  // namespace
 
 TrainWorker::TrainWorker(std::uint32_t id, std::string device_name,
                          data::RatingMatrix slice,
@@ -20,6 +29,15 @@ TrainWorker::TrainWorker(std::uint32_t id, std::string device_name,
       if (counts[i] > 0) touched_.push_back(i);
     }
   }
+  const std::string base = "worker" + std::to_string(id_) + ".";
+  auto& reg = obs::registry();
+  hist_pull_ = &reg.histogram(base + "pull_s");
+  hist_compute_ = &reg.histogram(base + "compute_s");
+  hist_push_ = &reg.histogram(base + "push_s");
+  hist_sync_ = &reg.histogram(base + "sync_s");
+  obs::trace().set_track_name(track_of(id_),
+                              "worker " + std::to_string(id_) + " (" +
+                                  device_name_ + ")");
 }
 
 void TrainWorker::gather_touched(std::span<const float> q,
@@ -42,6 +60,7 @@ void TrainWorker::scatter_touched(const std::vector<float>& packed,
 }
 
 void TrainWorker::pull(Server& server) {
+  obs::ScopedSpan span("pull", obs::kPhaseCategory, track_of(id_));
   const std::span<const float> global_q = server.model().q_data();
   if (local_q_.size() != global_q.size()) {
     local_q_.resize(global_q.size());
@@ -63,6 +82,9 @@ void TrainWorker::pull(Server& server) {
   // push the untouched rows copy local (stale) values: their delta is then
   // exactly zero, so they neither travel nor merge.
   std::copy(local_q_.begin(), local_q_.end(), snapshot_q_.begin());
+  const double s = span.stop();
+  measured_.pull_s += s;
+  hist_pull_->observe(s);
 }
 
 void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
@@ -70,6 +92,8 @@ void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
                                 util::ThreadPool* pool) {
   assert(chunk < streams_);
   assert(!local_q_.empty() && "pull() must precede compute_chunk()");
+  obs::ScopedSpan span("compute", obs::kPhaseCategory, track_of(id_));
+  span.arg("chunk", std::to_string(chunk));
   mf::FactorModel& model = server.model();
   const std::uint32_t k = model.k();
   const auto entries = slice_.entries();
@@ -91,10 +115,14 @@ void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
   } else {
     body(lo, hi);
   }
+  const double s = span.stop();
+  measured_.compute_s += s;
+  hist_compute_->observe(s);
 }
 
 void TrainWorker::push(Server& server) {
   assert(!local_q_.empty() && "pull() must precede push()");
+  obs::ScopedSpan span("push", obs::kPhaseCategory, track_of(id_));
   if (sparse_) {
     const std::uint32_t k = server.model().k();
     gather_touched(local_q_, packed_send_, k);
@@ -106,12 +134,22 @@ void TrainWorker::push(Server& server) {
   } else {
     backend_->transfer(local_q_, push_staging_, server.codec());
   }
+  const double push_s = span.stop();
+  measured_.push_s += push_s;
+  hist_push_->observe(push_s);
+
+  // The server-side merge is the paper's T_sync term — timed separately
+  // and attributed to this worker (the server records its own span).
+  util::Stopwatch sync_watch;
   if (!item_weights_.empty()) {
     server.sync_q(push_staging_, snapshot_q_,
                   std::span<const float>(item_weights_));
   } else {
     server.sync_q(push_staging_, snapshot_q_, sync_weight_);
   }
+  const double sync_s = sync_watch.seconds();
+  measured_.sync_s += sync_s;
+  hist_sync_->observe(sync_s);
 }
 
 }  // namespace hcc::core

@@ -16,6 +16,7 @@
 #include "comm/strategy.hpp"
 #include "core/server.hpp"
 #include "data/rating_matrix.hpp"
+#include "obs/drift.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hcc::core {
@@ -69,6 +70,23 @@ class TrainWorker {
   /// Wire-transfer accounting for this worker's channel.
   const comm::TransferStats& comm_stats() const { return backend_->stats(); }
 
+  /// Wall-clock seconds this worker has spent in each phase since the last
+  /// take_measured() — the runtime-observed counterpart of the paper's
+  /// T_pull/T_c/T_push/T_sync decomposition.  pull/compute/push accumulate
+  /// inside the instrumented methods; sync is the server merge time this
+  /// worker's pushes consumed.
+  const obs::PhaseTimes& measured_phases() const noexcept {
+    return measured_;
+  }
+
+  /// Returns the accumulated phase times and resets them (one epoch's
+  /// harvest).
+  obs::PhaseTimes take_measured() noexcept {
+    obs::PhaseTimes out = measured_;
+    measured_ = {};
+    return out;
+  }
+
  private:
   /// Gathers this worker's touched Q rows into `packed`, or scatters them
   /// back; the sparse-push wire format (Strategy 4, extension).
@@ -79,6 +97,12 @@ class TrainWorker {
 
   std::uint32_t id_;
   std::string device_name_;
+  obs::PhaseTimes measured_;
+  /// Per-worker phase histograms, resolved once (registry lookups lock).
+  obs::Histogram* hist_pull_ = nullptr;
+  obs::Histogram* hist_compute_ = nullptr;
+  obs::Histogram* hist_push_ = nullptr;
+  obs::Histogram* hist_sync_ = nullptr;
   data::RatingMatrix slice_;
   std::uint32_t streams_;
   bool sparse_ = false;

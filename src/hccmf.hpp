@@ -19,8 +19,15 @@
 
 // The framework
 #include "core/hccmf.hpp"          // HccMf facade
+#include "core/report_format.hpp"  // report rendering (incl. drift table)
 #include "core/tuner.hpp"          // comm auto-tuner
 #include "sim/platform.hpp"        // virtual platforms
+
+// Observability
+#include "obs/chrome_trace.hpp"    // chrome://tracing export
+#include "obs/drift.hpp"           // cost-model drift reports
+#include "obs/metrics.hpp"         // counters / gauges / histograms
+#include "obs/span.hpp"            // scoped spans + trace recorder
 
 // Extensions
 #include "cluster/hierarchical.hpp"  // multi-node two-level HCC

@@ -1,0 +1,291 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace hcc::obs {
+
+namespace {
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events,
+    const std::map<std::uint32_t, std::string>& track_names) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, name] : track_names) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << track
+       << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const auto& ev : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"X\",\"name\":\"" << json_escape(ev.name)
+       << "\",\"cat\":\"" << json_escape(ev.cat) << "\",\"pid\":0,\"tid\":"
+       << ev.track << ",\"ts\":" << num(ev.ts_us)
+       << ",\"dur\":" << num(ev.dur_us);
+    if (!ev.args.empty()) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : ev.args) {
+        if (!first_arg) os << ',';
+        first_arg = false;
+        os << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool write_chrome_trace(const std::vector<TraceEvent>& events,
+                        const std::string& path,
+                        const std::map<std::uint32_t, std::string>& tracks) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json(events, tracks) << '\n';
+  return static_cast<bool>(out);
+}
+
+bool write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path) {
+  return write_chrome_trace(recorder.snapshot(), path,
+                            recorder.track_names());
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, true/false/null) —
+// just enough to round-trip what chrome_trace_json emits.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto value = parse_value();
+    skip_ws();
+    if (!value || pos_ != text_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f':
+      case 'n': return parse_literal();
+      default: return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      auto key = parse_string();
+      if (!key || !consume(':')) return std::nullopt;
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      v.object.emplace(std::move(key->string), std::move(*value));
+      if (consume(',')) continue;
+      if (consume('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      v.array.push_back(std::move(*value));
+      if (consume(',')) continue;
+      if (consume(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.string += '"'; break;
+        case '\\': v.string += '\\'; break;
+        case '/': v.string += '/'; break;
+        case 'n': v.string += '\n'; break;
+        case 'r': v.string += '\r'; break;
+        case 't': v.string += '\t'; break;
+        case 'b': v.string += '\b'; break;
+        case 'f': v.string += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          const unsigned code =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // ASCII only — all this exporter ever escapes.
+          v.string += static_cast<char>(code & 0x7f);
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_literal() {
+    JsonValue v;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      v.kind = JsonValue::Kind::kBool;
+      pos_ += 5;
+      return v;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return v;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    v.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return std::nullopt;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* find(const JsonValue& obj, const std::string& key) {
+  if (obj.kind != JsonValue::Kind::kObject) return nullptr;
+  const auto it = obj.object.find(key);
+  return it == obj.object.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+std::optional<ParsedTrace> parse_chrome_trace(const std::string& json) {
+  const auto root = JsonParser(json).parse();
+  if (!root) return std::nullopt;
+  const JsonValue* events = find(*root, "traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return std::nullopt;
+  }
+  ParsedTrace trace;
+  for (const auto& entry : events->array) {
+    const JsonValue* ph = find(entry, "ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString) {
+      return std::nullopt;
+    }
+    const JsonValue* tid = find(entry, "tid");
+    const std::uint32_t track =
+        tid != nullptr ? static_cast<std::uint32_t>(tid->number) : 0;
+    if (ph->string == "M") {
+      const JsonValue* args = find(entry, "args");
+      const JsonValue* name = args ? find(*args, "name") : nullptr;
+      if (name != nullptr) trace.track_names[track] = name->string;
+      continue;
+    }
+    if (ph->string != "X") continue;
+    TraceEvent ev;
+    ev.track = track;
+    if (const JsonValue* name = find(entry, "name")) ev.name = name->string;
+    if (const JsonValue* cat = find(entry, "cat")) ev.cat = cat->string;
+    if (const JsonValue* ts = find(entry, "ts")) ev.ts_us = ts->number;
+    if (const JsonValue* dur = find(entry, "dur")) ev.dur_us = dur->number;
+    if (const JsonValue* args = find(entry, "args")) {
+      for (const auto& [key, value] : args->object) {
+        ev.args.emplace_back(key, value.string);
+      }
+    }
+    trace.events.push_back(std::move(ev));
+  }
+  return trace;
+}
+
+}  // namespace hcc::obs

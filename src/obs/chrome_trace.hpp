@@ -1,0 +1,45 @@
+// Chrome-trace (chrome://tracing / Perfetto "trace event format") export.
+//
+// Renders recorded spans — measured (TraceRecorder) or reconstructed from a
+// simulated sim::EpochTiming — as a JSON object with a `traceEvents` array
+// of complete ("ph":"X") events plus thread_name metadata, loadable in
+// chrome://tracing.  A minimal parser for the same subset supports
+// round-trip validation in tests and tooling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace hcc::obs {
+
+/// Serializes events (+ optional per-track thread names) as a Chrome-trace
+/// JSON document.
+std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events,
+    const std::map<std::uint32_t, std::string>& track_names = {});
+
+/// Writes chrome_trace_json(...) to `path`; false on IO failure.
+bool write_chrome_trace(
+    const std::vector<TraceEvent>& events, const std::string& path,
+    const std::map<std::uint32_t, std::string>& track_names = {});
+
+/// Snapshot + track names of a recorder, written to `path`.
+bool write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path);
+
+/// A parsed trace document (the subset this module emits).
+struct ParsedTrace {
+  std::vector<TraceEvent> events;  ///< the "ph":"X" events
+  std::map<std::uint32_t, std::string> track_names;
+};
+
+/// Parses a Chrome-trace JSON document produced by chrome_trace_json (or
+/// any document restricted to objects/arrays/strings/numbers/bools/null).
+/// nullopt on malformed JSON or a missing traceEvents array.
+std::optional<ParsedTrace> parse_chrome_trace(const std::string& json);
+
+}  // namespace hcc::obs

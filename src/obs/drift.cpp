@@ -1,0 +1,96 @@
+#include "obs/drift.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace hcc::obs {
+
+namespace {
+/// Below this many seconds a predicted phase counts as "absent": the sim's
+/// tiniest real phases are ~1e-9 s, while true zeros come from phases a
+/// strategy disabled entirely.
+constexpr double kDriftFloor = 1e-12;
+}  // namespace
+
+double relative_error(double measured, double predicted) {
+  if (std::abs(predicted) < kDriftFloor) {
+    if (std::abs(measured) < kDriftFloor) return 0.0;
+    return measured > 0.0 ? kMaxRelErr : -kMaxRelErr;
+  }
+  const double err = (measured - predicted) / predicted;
+  return std::clamp(err, -kMaxRelErr, kMaxRelErr);
+}
+
+DriftReport compute_drift(const std::vector<PhaseTimes>& predicted,
+                          const std::vector<PhaseTimes>& measured) {
+  assert(predicted.size() == measured.size());
+  DriftReport report;
+  report.workers.reserve(predicted.size());
+  double abs_sum = 0.0;
+  std::size_t terms = 0;
+  for (std::size_t w = 0; w < predicted.size(); ++w) {
+    WorkerDrift wd;
+    wd.predicted = predicted[w];
+    wd.measured = measured[w];
+    wd.rel_err.pull = relative_error(measured[w].pull_s, predicted[w].pull_s);
+    wd.rel_err.compute =
+        relative_error(measured[w].compute_s, predicted[w].compute_s);
+    wd.rel_err.push = relative_error(measured[w].push_s, predicted[w].push_s);
+    wd.rel_err.sync = relative_error(measured[w].sync_s, predicted[w].sync_s);
+    wd.rel_err.total =
+        relative_error(measured[w].total(), predicted[w].total());
+    for (double e : {wd.rel_err.pull, wd.rel_err.compute, wd.rel_err.push,
+                     wd.rel_err.sync}) {
+      report.max_abs_rel_err = std::max(report.max_abs_rel_err, std::abs(e));
+      abs_sum += std::abs(e);
+      ++terms;
+    }
+    report.workers.push_back(std::move(wd));
+  }
+  report.mean_abs_rel_err =
+      terms > 0 ? abs_sum / static_cast<double>(terms) : 0.0;
+  return report;
+}
+
+void publish_drift(MetricsRegistry& reg, const DriftReport& report,
+                   const std::string& prefix) {
+  for (std::size_t w = 0; w < report.workers.size(); ++w) {
+    const std::string base = prefix + ".w" + std::to_string(w) + ".";
+    const PhaseDrift& e = report.workers[w].rel_err;
+    reg.gauge(base + "pull_rel_err").set(e.pull);
+    reg.gauge(base + "compute_rel_err").set(e.compute);
+    reg.gauge(base + "push_rel_err").set(e.push);
+    reg.gauge(base + "sync_rel_err").set(e.sync);
+    reg.gauge(base + "total_rel_err").set(e.total);
+  }
+  reg.gauge(prefix + ".max_abs_rel_err").set(report.max_abs_rel_err);
+  reg.gauge(prefix + ".mean_abs_rel_err").set(report.mean_abs_rel_err);
+}
+
+std::string format_drift(const DriftReport& report,
+                         const std::vector<std::string>& worker_names) {
+  util::Table table({"worker", "pull", "compute", "push", "sync", "total"});
+  auto pct = [](double e) {
+    return (e >= 0 ? "+" : "") + util::Table::num(100.0 * e, 1) + "%";
+  };
+  for (std::size_t w = 0; w < report.workers.size(); ++w) {
+    const PhaseDrift& e = report.workers[w].rel_err;
+    table.add_row({w < worker_names.size() ? worker_names[w]
+                                           : "w" + std::to_string(w),
+                   pct(e.pull), pct(e.compute), pct(e.push), pct(e.sync),
+                   pct(e.total)});
+  }
+  std::ostringstream os;
+  os << "cost-model drift (measured vs Eq. 1-5 predictions):\n";
+  table.print(os);
+  os << "max |rel err| " << util::Table::num(100.0 * report.max_abs_rel_err, 1)
+     << "%, mean " << util::Table::num(100.0 * report.mean_abs_rel_err, 1)
+     << "%\n";
+  return os.str();
+}
+
+}  // namespace hcc::obs

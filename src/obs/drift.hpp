@@ -1,0 +1,76 @@
+// Cost-model drift report.
+//
+// The DataManager's partition decisions (DP1/DP2, Algorithm 1) trust the
+// Section 3.2 cost model's per-phase predictions (Eq. 1-5).  This module
+// compares those predictions against what the runtime actually measured —
+// per worker, per phase (pull / compute / push / sync) — and condenses the
+// comparison into relative errors the registry, the report formatter and
+// the adaptive controller can act on.  Pure math over plain structs: no
+// dependency on core or sim, so both can feed it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace hcc::obs {
+
+/// One worker's epoch decomposed into the paper's four phase terms.
+struct PhaseTimes {
+  double pull_s = 0.0;
+  double compute_s = 0.0;
+  double push_s = 0.0;
+  double sync_s = 0.0;
+
+  double total() const noexcept {
+    return pull_s + compute_s + push_s + sync_s;
+  }
+};
+
+/// Signed relative errors (measured - predicted) / predicted, one per phase
+/// plus the whole-epoch term.
+struct PhaseDrift {
+  double pull = 0.0;
+  double compute = 0.0;
+  double push = 0.0;
+  double sync = 0.0;
+  double total = 0.0;
+};
+
+struct WorkerDrift {
+  PhaseTimes predicted;
+  PhaseTimes measured;
+  PhaseDrift rel_err;
+};
+
+struct DriftReport {
+  std::vector<WorkerDrift> workers;
+  double max_abs_rel_err = 0.0;   ///< worst phase error across all workers
+  double mean_abs_rel_err = 0.0;  ///< mean |error| over all worker phases
+};
+
+/// (measured - predicted) / predicted.  Both ~0 -> 0 (an unused phase is
+/// not drift); predicted ~0 with measured > 0 saturates at +1 per measured
+/// unit of absolute time, i.e. we fall back to measured / kDriftFloor
+/// capped at kMaxRelErr so reports stay finite.
+double relative_error(double measured, double predicted);
+
+/// Largest |relative error| a report will carry (keeps JSON/gauges finite).
+inline constexpr double kMaxRelErr = 100.0;
+
+/// Element-wise drift of measured against predicted phase times.  The two
+/// vectors must have equal length.
+DriftReport compute_drift(const std::vector<PhaseTimes>& predicted,
+                          const std::vector<PhaseTimes>& measured);
+
+/// Publishes the report as gauges: `<prefix>.w<i>.{pull,compute,push,sync,
+/// total}_rel_err`, `<prefix>.max_abs_rel_err`, `<prefix>.mean_abs_rel_err`.
+void publish_drift(MetricsRegistry& registry, const DriftReport& report,
+                   const std::string& prefix = "drift");
+
+/// Human-readable drift table (percentages), one row per worker.
+std::string format_drift(const DriftReport& report,
+                         const std::vector<std::string>& worker_names = {});
+
+}  // namespace hcc::obs

@@ -1,0 +1,35 @@
+// Minimal JSON string escaping shared by the metrics and trace exporters.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace hcc::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included).  Control characters become \uXXXX.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace hcc::obs

@@ -1,0 +1,123 @@
+// Thread-safe runtime metrics registry (counters, gauges, histograms).
+//
+// The paper's evaluation hinges on observing T_pull + T_c + T_push + T_sync
+// per worker per epoch (Section 3.2, Eq. 1-5); this registry is where the
+// instrumented runtime (core workers/server, comm backends) accumulates
+// those observations.  Header-light by design: no dependency outside
+// src/util, cheap relaxed atomics on the hot paths, one mutex only on
+// metric *creation* — callers cache the returned references.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hcc::obs {
+
+/// Monotonically increasing event/byte counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value-wins instantaneous measurement (e.g. a drift percentage).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
+/// N buckets; one implicit overflow bucket catches everything above the
+/// last bound.  All updates are relaxed atomics, safe under concurrent
+/// writers; readers see a consistent-enough snapshot for reporting.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// One count per bound plus the trailing overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential seconds buckets from 1 us to ~100 s — the spread between a
+/// microsecond-scale demo pull and a paper-scale compute phase.
+const std::vector<double>& default_time_buckets();
+
+/// Named metric store.  Lookup by name is mutex-guarded; the returned
+/// references stay valid for the registry's lifetime, so hot paths resolve
+/// once and cache the pointer.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds =
+                           default_time_buckets());
+
+  /// nullptr when the metric does not exist (never creates).
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// Whole-registry JSON dump:
+  ///   {"counters":{...},"gauges":{...},"histograms":{name:
+  ///    {"count":..,"sum":..,"mean":..,"bounds":[..],"buckets":[..]}}}
+  std::string to_json() const;
+
+  /// Drops every metric (outstanding references become dangling — tests
+  /// and process teardown only).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-global registry the instrumented runtime writes to.
+MetricsRegistry& registry();
+
+/// Writes `registry.to_json()` to `path`; false on IO failure.
+bool write_metrics_json(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace hcc::obs

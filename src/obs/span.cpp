@@ -1,0 +1,86 @@
+#include "obs/span.hpp"
+
+namespace hcc::obs {
+
+double TraceRecorder::now_us() const {
+  std::chrono::steady_clock::time_point origin;
+  {
+    std::lock_guard lock(mutex_);
+    origin = epoch_;
+  }
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::set_track_name(std::uint32_t track, std::string name) {
+  std::lock_guard lock(mutex_);
+  tracks_[track] = std::move(name);
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::map<std::uint32_t, std::string> TraceRecorder::track_names() const {
+  std::lock_guard lock(mutex_);
+  return tracks_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  tracks_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+TraceRecorder& trace() {
+  static TraceRecorder global;
+  return global;
+}
+
+ScopedSpan::ScopedSpan(TraceRecorder& recorder, std::string name,
+                       std::string cat, std::uint32_t track)
+    : recorder_(&recorder), start_(std::chrono::steady_clock::now()) {
+  event_.name = std::move(name);
+  event_.cat = std::move(cat);
+  event_.track = track;
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string cat, std::uint32_t track)
+    : ScopedSpan(trace(), std::move(name), std::move(cat), track) {}
+
+void ScopedSpan::arg(std::string key, std::string value) {
+  event_.args.emplace_back(std::move(key), std::move(value));
+}
+
+double ScopedSpan::stop() {
+  if (stopped_) return seconds_;
+  stopped_ = true;
+  const auto end = std::chrono::steady_clock::now();
+  seconds_ = std::chrono::duration<double>(end - start_).count();
+  if (recorder_->enabled()) {
+    // Timestamps are computed against the recorder epoch only when the
+    // event is actually kept, so disabled spans never touch the recorder.
+    const double end_us = recorder_->now_us();
+    event_.dur_us = seconds_ * 1e6;
+    event_.ts_us = end_us - event_.dur_us;
+    if (event_.ts_us < 0.0) event_.ts_us = 0.0;
+    recorder_->record(std::move(event_));
+  }
+  return seconds_;
+}
+
+}  // namespace hcc::obs

@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 
@@ -29,6 +30,83 @@ void log_line(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
   std::lock_guard lock(g_mutex);
   std::cerr << "[hcc-mf " << level_name(level) << "] " << message << '\n';
+}
+
+namespace {
+
+std::string format_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+bool needs_quoting(const std::string& v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string quote(const std::string& v) {
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+KvPair kv(std::string key, const std::string& value) {
+  return {std::move(key), value};
+}
+KvPair kv(std::string key, const char* value) {
+  return {std::move(key), std::string(value)};
+}
+KvPair kv(std::string key, double value) {
+  return {std::move(key), format_number(value)};
+}
+KvPair kv(std::string key, std::uint64_t value) {
+  return {std::move(key), std::to_string(value)};
+}
+KvPair kv(std::string key, std::int64_t value) {
+  return {std::move(key), std::to_string(value)};
+}
+KvPair kv(std::string key, std::uint32_t value) {
+  return {std::move(key), std::to_string(value)};
+}
+KvPair kv(std::string key, std::int32_t value) {
+  return {std::move(key), std::to_string(value)};
+}
+KvPair kv(std::string key, bool value) {
+  return {std::move(key), value ? "true" : "false"};
+}
+
+std::string format_kv(const std::string& event,
+                      const std::vector<KvPair>& pairs) {
+  std::string line = "event=" + (needs_quoting(event) ? quote(event) : event);
+  for (const auto& [key, value] : pairs) {
+    line += ' ';
+    line += key;
+    line += '=';
+    line += needs_quoting(value) ? quote(value) : value;
+  }
+  return line;
+}
+
+void log_kv(LogLevel level, const std::string& event,
+            const std::vector<KvPair>& pairs) {
+  if (level < log_level()) return;  // skip formatting below threshold
+  log_line(level, format_kv(event, pairs));
 }
 
 }  // namespace hcc::util

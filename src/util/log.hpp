@@ -5,8 +5,11 @@
 // silence it and examples can turn on verbose tracing with --verbose.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace hcc::util {
 
@@ -19,6 +22,35 @@ LogLevel log_level();
 
 /// Emits one line at `level` if it passes the global threshold.
 void log_line(LogLevel level, const std::string& message);
+
+// --- machine-parsable key=value lines ------------------------------------
+//
+// The observability instrumentation (src/obs, core epoch loop) logs in a
+// stable `event=<name> key=value ...` form so CI can scrape timings and
+// drift out of stderr without guessing at free-text formats.
+
+/// One formatted key/value pair.
+using KvPair = std::pair<std::string, std::string>;
+
+/// Value formatters: numbers render with %.9g, bools as true/false.
+KvPair kv(std::string key, const std::string& value);
+KvPair kv(std::string key, const char* value);
+KvPair kv(std::string key, double value);
+KvPair kv(std::string key, std::uint64_t value);
+KvPair kv(std::string key, std::int64_t value);
+KvPair kv(std::string key, std::uint32_t value);
+KvPair kv(std::string key, std::int32_t value);
+KvPair kv(std::string key, bool value);
+
+/// Renders `event=<event> k=v k2=v2 ...`; values containing spaces, quotes
+/// or '=' are double-quoted with backslash escapes.  Pure function (tested
+/// directly).
+std::string format_kv(const std::string& event,
+                      const std::vector<KvPair>& pairs);
+
+/// format_kv + log_line.
+void log_kv(LogLevel level, const std::string& event,
+            const std::vector<KvPair>& pairs);
 
 namespace detail {
 class LogStream {

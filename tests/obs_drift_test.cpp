@@ -1,0 +1,140 @@
+// Cost-model drift report: error math on synthetic inputs, gauge
+// publication, formatting, and agreement with the timing engine on a
+// jitter-free synthetic platform.
+#include "obs/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.hpp"
+#include "core/hccmf.hpp"
+#include "data/datasets.hpp"
+#include "obs/metrics.hpp"
+#include "sim/timing.hpp"
+
+namespace hcc::obs {
+namespace {
+
+TEST(DriftTest, RelativeErrorMath) {
+  EXPECT_NEAR(relative_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(relative_error(0.9, 1.0), -0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  // Absent prediction with a real measurement saturates, stays finite.
+  EXPECT_DOUBLE_EQ(relative_error(0.5, 0.0), kMaxRelErr);
+  EXPECT_TRUE(std::isfinite(relative_error(1e9, 1e-15)));
+}
+
+TEST(DriftTest, ComputeDriftPerPhase) {
+  std::vector<PhaseTimes> predicted = {{1.0, 2.0, 1.0, 0.5}};
+  std::vector<PhaseTimes> measured = {{1.1, 2.2, 0.9, 0.5}};
+  const DriftReport report = compute_drift(predicted, measured);
+  ASSERT_EQ(report.workers.size(), 1u);
+  const PhaseDrift& e = report.workers[0].rel_err;
+  EXPECT_NEAR(e.pull, 0.1, 1e-12);
+  EXPECT_NEAR(e.compute, 0.1, 1e-12);
+  EXPECT_NEAR(e.push, -0.1, 1e-12);
+  EXPECT_NEAR(e.sync, 0.0, 1e-12);
+  // total: measured 4.7 vs predicted 4.5.
+  EXPECT_NEAR(e.total, 0.2 / 4.5, 1e-12);
+  EXPECT_NEAR(report.max_abs_rel_err, 0.1, 1e-12);
+  EXPECT_NEAR(report.mean_abs_rel_err, 0.3 / 4.0, 1e-12);
+}
+
+TEST(DriftTest, IdleWorkerIsNotDrift) {
+  const DriftReport report = compute_drift({{}}, {{}});
+  EXPECT_DOUBLE_EQ(report.max_abs_rel_err, 0.0);
+  EXPECT_DOUBLE_EQ(report.workers[0].rel_err.total, 0.0);
+}
+
+TEST(DriftTest, PublishSetsGauges) {
+  MetricsRegistry reg;
+  std::vector<PhaseTimes> predicted = {{1.0, 1.0, 1.0, 1.0},
+                                       {2.0, 2.0, 2.0, 2.0}};
+  std::vector<PhaseTimes> measured = {{1.5, 1.0, 1.0, 1.0},
+                                      {2.0, 2.0, 2.0, 1.0}};
+  publish_drift(reg, compute_drift(predicted, measured));
+  ASSERT_NE(reg.find_gauge("drift.w0.pull_rel_err"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("drift.w0.pull_rel_err")->value(), 0.5);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("drift.w1.sync_rel_err")->value(), -0.5);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("drift.max_abs_rel_err")->value(), 0.5);
+  EXPECT_NE(reg.find_gauge("drift.w1.total_rel_err"), nullptr);
+}
+
+TEST(DriftTest, FormatShowsPercentages) {
+  std::vector<PhaseTimes> predicted = {{1.0, 2.0, 1.0, 0.5}};
+  std::vector<PhaseTimes> measured = {{1.1, 2.0, 1.0, 0.5}};
+  const std::string text =
+      format_drift(compute_drift(predicted, measured), {"2080S"});
+  EXPECT_NE(text.find("2080S"), std::string::npos);
+  EXPECT_NE(text.find("+10.0%"), std::string::npos);
+  EXPECT_NE(text.find("max |rel err|"), std::string::npos);
+}
+
+// On a jitter-free platform with no server-CPU time sharing, the timing
+// engine should land exactly on the Eq. 1-5 phase predictions: zero drift.
+TEST(DriftTest, JitterFreeSimulationMatchesModel) {
+  sim::EpochConfig cfg;
+  cfg.shape = {"synthetic", 10000, 2000, 1000000, 32};
+  cfg.jitter = 0.0;
+  sim::WorkerPlan plan;
+  plan.device = sim::rtx_2080s();
+  plan.device.epoch_overhead_s = 0.0;
+  plan.share = 1.0;
+  plan.comm.pull_bytes = 1e6;
+  plan.comm.push_bytes = 1e6;
+  plan.comm.sync_bytes = 1e6;
+  cfg.workers.push_back(plan);
+
+  const sim::EpochTiming timing = sim::simulate_epoch(cfg);
+  const core::PhaseCost cost = core::predicted_phase_cost(
+      plan.device, cfg.shape, plan.share, plan.comm, cfg.server);
+
+  const DriftReport report = compute_drift(
+      {{cost.pull_s, cost.compute_s, cost.push_s, cost.sync_s}},
+      {{timing.workers[0].pull_s, timing.workers[0].compute_s,
+        timing.workers[0].push_s, timing.workers[0].sync_s}});
+  EXPECT_LT(report.max_abs_rel_err, 1e-9);
+}
+
+// The facade records drift for every epoch and publishes it to the global
+// registry; the functional path also emits measured wall-clock phases in
+// the EpochTiming shape.
+TEST(DriftTest, TrainReportCarriesDriftAndMeasuredPhases) {
+  const data::DatasetSpec spec = data::netflix_spec().scaled(0.0005);
+  data::GeneratorConfig gen;
+  gen.seed = 11;
+  const data::RatingMatrix ratings = data::generate(spec, gen);
+
+  core::HccMfConfig config;
+  config.sgd = mf::SgdConfig::for_dataset(spec.reg_lambda, 0.01f, 8);
+  config.sgd.epochs = 2;
+  config.dataset_name = spec.name;
+  core::HccMf framework(config);
+  const core::TrainReport report = framework.train(ratings);
+
+  ASSERT_EQ(report.epochs.size(), 2u);
+  for (const auto& epoch : report.epochs) {
+    ASSERT_FALSE(epoch.drift.workers.empty());
+    EXPECT_TRUE(std::isfinite(epoch.drift.max_abs_rel_err));
+    ASSERT_FALSE(epoch.measured.workers.empty());
+    double busy = 0.0;
+    for (const auto& w : epoch.measured.workers) {
+      busy += w.pull_s + w.compute_s + w.push_s + w.sync_s;
+    }
+    EXPECT_GT(busy, 0.0);
+    EXPECT_GT(epoch.measured.epoch_s, 0.0);
+  }
+
+  // The instrumented workers published per-phase histograms.
+  const Histogram* pull = registry().find_histogram("worker0.pull_s");
+  ASSERT_NE(pull, nullptr);
+  EXPECT_GE(pull->count(), 2u);  // one pull per epoch at least
+  EXPECT_NE(registry().find_gauge("drift.max_abs_rel_err"), nullptr);
+  EXPECT_NE(registry().find_counter("comm.COMM.wire_bytes"), nullptr);
+  EXPECT_GT(registry().find_counter("comm.COMM.wire_bytes")->value(), 0u);
+}
+
+}  // namespace
+}  // namespace hcc::obs

@@ -1,0 +1,128 @@
+// Registry semantics: counters/gauges/histograms, including under
+// concurrent writers (the instrumented workers run on many threads).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+namespace hcc::obs {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsTest, RegistryReturnsStableInstances) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  Counter& b = reg.counter("b");
+  a.add(1);
+  EXPECT_EQ(&reg.counter("a"), &a);
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(reg.counter("a").value(), 1u);
+  EXPECT_EQ(reg.counter("b").value(), 0u);
+}
+
+TEST(MetricsTest, GaugeKeepsLastValue) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("drift");
+  g.set(0.25);
+  g.set(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), -0.5);
+}
+
+TEST(MetricsTest, HistogramBucketsByUpperBound) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h.observe(v);
+  // <=1 | <=2 | <=4 | overflow
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);  // 0.5 and the inclusive 1.0
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum(), 106.0, 1e-12);
+  EXPECT_NEAR(h.mean(), 21.2, 1e-12);
+}
+
+TEST(MetricsTest, HistogramSortsBounds) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t", {4.0, 1.0, 2.0});
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+}
+
+TEST(MetricsTest, CountersSafeUnderConcurrentWriters) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Lookup inside the thread exercises creation-vs-use races too.
+      Counter& c = reg.counter("shared");
+      Histogram& h = reg.histogram("shared_h", {1.0});
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        h.observe(0.5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  Histogram& h = reg.histogram("shared_h", {1.0});
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_NEAR(h.sum(), kThreads * kIters * 0.5, 1e-6);
+  EXPECT_EQ(h.bucket_counts()[0], static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(MetricsTest, ToJsonListsAllMetricKinds) {
+  MetricsRegistry reg;
+  reg.counter("bytes").add(7);
+  reg.gauge("err").set(0.125);
+  reg.histogram("lat", {1.0, 2.0}).observe(1.5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"bytes\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"err\":0.125"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[0,1,0]"), std::string::npos);
+}
+
+TEST(MetricsTest, ToJsonEscapesNames) {
+  MetricsRegistry reg;
+  reg.counter("we\"ird\nname").add(1);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("we\\\"ird\\nname"), std::string::npos);
+}
+
+TEST(MetricsTest, WriteMetricsJsonRoundTripsToDisk) {
+  MetricsRegistry reg;
+  reg.counter("x").add(3);
+  const std::string path = "/tmp/hccmf_obs_metrics_test.json";
+  ASSERT_TRUE(write_metrics_json(reg, path));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"x\":3"), std::string::npos);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(write_metrics_json(reg, "/nonexistent_dir/x.json"));
+}
+
+TEST(MetricsTest, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&registry(), &registry());
+}
+
+}  // namespace
+}  // namespace hcc::obs
