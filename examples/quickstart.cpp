@@ -8,8 +8,13 @@
 // the metrics registry (per-worker phase histograms, wire counters, cost-
 // model drift gauges) as JSON.
 //
+// --fault-plan scripts failures ("kill:w1@e3;stall:w0@e2x4;corrupt:w2@e1",
+// see fault/plan.hpp; HCCMF_FAULT_PLAN works too) and --checkpoint-dir
+// persists epoch-boundary checkpoints for crash recovery.
+//
 //   ./quickstart [--scale=0.002] [--epochs=10] [--k=16] [--verbose]
 //                [--trace-out=trace.json] [--metrics-out=metrics.json]
+//                [--fault-plan=SPEC] [--checkpoint-dir=DIR]
 #include <cstdio>
 #include <iostream>
 
@@ -58,6 +63,17 @@ int main(int argc, char** argv) {
   for (auto& w : config.platform.workers) w.epoch_overhead_s = 0.0;
   config.dataset_name = spec.name;
 
+  // Fault tolerance: a scripted plan (CLI flag wins over HCCMF_FAULT_PLAN)
+  // and/or a checkpoint directory arm the subsystem; absent both, training
+  // is bit-identical to a build without it.
+  const std::string fault_plan = cli.get("fault-plan", std::string());
+  if (!fault_plan.empty()) {
+    config.fault.plan = fault::FaultPlan::parse(fault_plan);
+  } else {
+    config.fault.plan = fault::plan_from_env();
+  }
+  config.fault.checkpoint_dir = cli.get("checkpoint-dir", std::string());
+
   // 3. Train.
   core::HccMf framework(config);
   const core::TrainReport report = framework.train(train, &test);
@@ -83,6 +99,20 @@ int main(int argc, char** argv) {
 
   const std::string drift = core::format_drift_table(report);
   if (!drift.empty()) std::cout << '\n' << drift;
+
+  if (config.fault.enabled()) {
+    const core::FaultSummary& f = report.fault;
+    std::cout << "\nfault tolerance: " << f.injected << " injected, "
+              << f.retries << " retries, " << f.recoveries
+              << " recoveries (" << util::Table::num(f.recovery_wall_s, 4)
+              << " s), " << f.divergence_rollbacks << " rollbacks, "
+              << f.stragglers << " straggler flags\n";
+    if (!f.dead_workers.empty()) {
+      std::cout << "dead workers:";
+      for (const auto w : f.dead_workers) std::cout << " w" << w;
+      std::cout << "  (rows redistributed to survivors)\n";
+    }
+  }
 
   if (!trace_out.empty()) {
     if (obs::write_chrome_trace(obs::trace(), trace_out)) {

@@ -9,6 +9,15 @@
 
 namespace hcc::comm {
 
+std::uint64_t wire_checksum(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
 void CommBackend::ensure_metrics() {
   if (wire_bytes_counter_ != nullptr) return;
   auto& reg = obs::registry();
@@ -17,6 +26,17 @@ void CommBackend::ensure_metrics() {
   transfers_counter_ = &reg.counter(base + "transfers");
   messages_counter_ = &reg.counter(base + "messages");
   codec_hist_ = &reg.histogram(base + "codec_s");
+}
+
+void CommBackend::cross_wire(std::span<std::byte> wire) {
+  // Sender-side checksum travels out-of-band (8 wire bytes, accounted by
+  // the caller); the tap models in-flight corruption; the receiver
+  // verifies before decoding so a damaged payload never reaches Q.
+  const std::uint64_t sent = checksum_ ? wire_checksum(wire) : 0;
+  if (tap_) tap_(wire);
+  if (checksum_ && wire_checksum(wire) != sent) {
+    throw ChecksumError(name());
+  }
 }
 
 void ShmComm::transfer(std::span<const float> src, std::span<float> dst,
@@ -31,13 +51,15 @@ void ShmComm::transfer(std::span<const float> src, std::span<float> dst,
   // copy usually happens only once in one epoch").
   util::Stopwatch codec_watch;
   codec.encode(src, shared_buffer_);
+  cross_wire(std::span<std::byte>(shared_buffer_.data(), wire));
   codec.decode(std::span<const std::byte>(shared_buffer_.data(), wire), dst);
   codec_hist_->observe(codec_watch.seconds());
-  stats_.wire_bytes += wire;
+  const std::size_t billed = wire + (checksum_enabled() ? 8 : 0);
+  stats_.wire_bytes += billed;
   stats_.copies += 1;
-  wire_bytes_counter_->add(wire);
+  wire_bytes_counter_->add(billed);
   transfers_counter_->add(1);
-  span.arg("bytes", std::to_string(wire));
+  span.arg("bytes", std::to_string(billed));
 }
 
 void BrokerComm::transfer(std::span<const float> src, std::span<float> dst,
@@ -52,6 +74,11 @@ void BrokerComm::transfer(std::span<const float> src, std::span<float> dst,
   util::Stopwatch codec_watch;
   codec.encode(src, send_staging_);
   double codec_s = codec_watch.seconds();
+  const std::uint64_t sent_checksum =
+      checksum_enabled()
+          ? wire_checksum(std::span<const std::byte>(send_staging_.data(),
+                                                     wire))
+          : 0;
 
   // Copy 2: chunk the staging area into broker messages.
   std::size_t offset = 0;
@@ -74,16 +101,26 @@ void BrokerComm::transfer(std::span<const float> src, std::span<float> dst,
     broker_queue_.pop_front();
   }
 
+  // The tap corrupts the delivered bytes; the receiver verifies the
+  // sender's out-of-band checksum before deserializing.
+  if (tap_) tap_(std::span<std::byte>(recv_buffer_.data(), wire));
+  if (checksum_enabled() &&
+      wire_checksum(std::span<const std::byte>(recv_buffer_.data(), wire)) !=
+          sent_checksum) {
+    throw ChecksumError(name());
+  }
+
   // Deserialize out of the receive buffer.
   codec_watch.reset();
   codec.decode(std::span<const std::byte>(recv_buffer_.data(), wire), dst);
   codec_s += codec_watch.seconds();
   codec_hist_->observe(codec_s);
-  stats_.wire_bytes += wire;
+  const std::size_t billed = wire + (checksum_enabled() ? 8 : 0);
+  stats_.wire_bytes += billed;
   stats_.copies += 3;
-  wire_bytes_counter_->add(wire);
+  wire_bytes_counter_->add(billed);
   transfers_counter_->add(1);
-  span.arg("bytes", std::to_string(wire));
+  span.arg("bytes", std::to_string(billed));
 }
 
 }  // namespace hcc::comm

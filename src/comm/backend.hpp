@@ -19,8 +19,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,23 @@
 #include "obs/metrics.hpp"
 
 namespace hcc::comm {
+
+/// A transfer's payload checksum did not survive the wire (fault-tolerance
+/// extension): the receiver must discard the buffer and re-request.
+class ChecksumError : public std::runtime_error {
+ public:
+  explicit ChecksumError(const std::string& backend)
+      : std::runtime_error("COMM checksum mismatch on " + backend +
+                           " transfer (corrupt payload discarded)") {}
+};
+
+/// FNV-1a 64 over a byte span — the wire checksum.  Cheap, stateless, and
+/// sensitive to any single flipped bit.
+std::uint64_t wire_checksum(std::span<const std::byte> bytes) noexcept;
+
+/// Test/fault seam: mutates wire bytes "in flight" (between the sender's
+/// encode and the receiver's decode).
+using WireTap = std::function<void(std::span<std::byte>)>;
 
 /// Transfer accounting.
 struct TransferStats {
@@ -59,13 +78,28 @@ class CommBackend {
   const TransferStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
+  /// Enables the out-of-band payload checksum (8 extra wire bytes per
+  /// transfer; transfer() throws ChecksumError on mismatch).  Off by
+  /// default so the wire format is unchanged unless fault tolerance asks.
+  void set_checksum_enabled(bool enabled) noexcept { checksum_ = enabled; }
+  bool checksum_enabled() const noexcept { return checksum_; }
+
+  /// Installs (or clears, with nullptr) the in-flight wire tap.
+  void set_wire_tap(WireTap tap) { tap_ = std::move(tap); }
+
  protected:
+  /// Shared post-encode / pre-decode wire handling: applies the tap and,
+  /// with checksums on, verifies the payload survived (accounting for the
+  /// 8 checksum bytes).  Throws ChecksumError on mismatch.
+  void cross_wire(std::span<std::byte> wire);
   /// Resolves this backend's per-strategy registry metrics on first use
   /// (`comm.<name>.wire_bytes`, `.transfers`, `.messages`, `.codec_s`).
   /// Lazy because name() is virtual and the registry lookup locks.
   void ensure_metrics();
 
   TransferStats stats_;
+  bool checksum_ = false;
+  WireTap tap_;
   obs::Counter* wire_bytes_counter_ = nullptr;
   obs::Counter* transfers_counter_ = nullptr;
   obs::Counter* messages_counter_ = nullptr;

@@ -57,10 +57,14 @@ std::unique_ptr<Codec> make_codec(const CommConfig& config) {
 }
 
 std::unique_ptr<CommBackend> make_backend(const CommConfig& config) {
+  std::unique_ptr<CommBackend> backend;
   if (config.backend == BackendKind::kBroker) {
-    return std::make_unique<BrokerComm>();
+    backend = std::make_unique<BrokerComm>();
+  } else {
+    backend = std::make_unique<ShmComm>();
   }
-  return std::make_unique<ShmComm>();
+  backend->set_checksum_enabled(config.checksum);
+  return backend;
 }
 
 }  // namespace hcc::comm

@@ -29,6 +29,11 @@ struct CommConfig {
                                ///< attacks the dimension-bound cost the
                                ///< paper's Section 4.6 identifies.  Adds a
                                ///< 4-byte row index per transmitted row.
+  bool checksum = false;       ///< Fault-tolerance extension: out-of-band
+                               ///< payload checksum per transfer (8 wire
+                               ///< bytes); transfer() throws ChecksumError
+                               ///< on corruption.  Enabled by HccMf when a
+                               ///< fault plan / checkpoint dir is active.
   BackendKind backend = BackendKind::kShm;
 
   // Timing-model constants, calibrated against Table 5 (see EXPERIMENTS.md):

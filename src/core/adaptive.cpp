@@ -8,6 +8,26 @@
 
 namespace hcc::core {
 
+std::vector<double> redistribute_dead_share(std::vector<double> shares,
+                                            std::size_t dead) {
+  if (dead >= shares.size()) return shares;
+  double survivor_total = 0.0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (i != dead && shares[i] > 0.0) survivor_total += shares[i];
+  }
+  if (survivor_total <= 0.0) return shares;
+  const double redistributed = survivor_total + std::max(0.0, shares[dead]);
+  shares[dead] = 0.0;
+  for (double& s : shares) {
+    if (s > 0.0) s *= redistributed / survivor_total;
+  }
+  // Renormalize exactly: the shares must keep summing to 1 for the grid.
+  double total = 0.0;
+  for (double s : shares) total += s;
+  for (double& s : shares) s /= total;
+  return shares;
+}
+
 AdaptiveController::AdaptiveController(std::vector<double> initial_shares,
                                        AdaptiveOptions options)
     : shares_(std::move(initial_shares)), options_(options) {

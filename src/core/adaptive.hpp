@@ -31,6 +31,15 @@ struct AdaptiveOptions {
   double gain = 0.8;
 };
 
+/// Degraded-mode repartition (fault-tolerance extension): zeroes the dead
+/// worker's share and renormalizes the survivors proportionally — the same
+/// multiplicative compensation Algorithm 1's DP1 applies, collapsed to one
+/// step because the survivors' relative speeds are already balanced.
+/// Returns the input unchanged when `dead` is out of range or no survivor
+/// has positive share.
+std::vector<double> redistribute_dead_share(std::vector<double> shares,
+                                            std::size_t dead);
+
 /// Watches compute-time measurements and maintains the share vector.
 class AdaptiveController {
  public:

@@ -3,9 +3,13 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "data/grid.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/errors.hpp"
+#include "fault/recovery.hpp"
 #include "mf/metrics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -40,7 +44,70 @@ std::vector<obs::PhaseTimes> timing_phases(const sim::EpochTiming& timing) {
   return measured;
 }
 
+void validate_or_throw(const HccMfConfig& config) {
+  const auto errors = config.validate();
+  if (errors.empty()) return;
+  std::string joined = "invalid HccMfConfig:";
+  for (const auto& err : errors) {
+    joined += ' ';
+    joined += err.message;
+    joined += ';';
+  }
+  joined.pop_back();
+  throw std::invalid_argument(joined);
+}
+
 }  // namespace
+
+std::vector<ConfigError> HccMfConfig::validate() const {
+  std::vector<ConfigError> errors;
+  auto reject = [&errors](ConfigErrorCode code, std::string message) {
+    errors.push_back({code, std::move(message)});
+  };
+  if (platform.workers.empty()) {
+    reject(ConfigErrorCode::kNoWorkers, "platform has no workers");
+  }
+  if (sgd.k == 0) {
+    reject(ConfigErrorCode::kZeroLatentDim, "latent dimension k is 0");
+  }
+  if (sgd.epochs == 0) {
+    reject(ConfigErrorCode::kZeroEpochs, "epochs is 0");
+  }
+  if (!(sgd.learn_rate > 0.0f) || !std::isfinite(sgd.learn_rate)) {
+    reject(ConfigErrorCode::kBadLearnRate,
+           "learn_rate must be finite and > 0");
+  }
+  if (!(sgd.reg_p >= 0.0f) || !std::isfinite(sgd.reg_p) ||
+      !(sgd.reg_q >= 0.0f) || !std::isfinite(sgd.reg_q)) {
+    reject(ConfigErrorCode::kBadRegularization,
+           "regularization must be finite and >= 0");
+  }
+  if (!(sgd.lr_decay > 0.0f) || !std::isfinite(sgd.lr_decay)) {
+    reject(ConfigErrorCode::kBadDecay, "lr_decay must be finite and > 0");
+  }
+  if (comm.streams == 0) {
+    reject(ConfigErrorCode::kZeroStreams, "comm.streams is 0");
+  }
+  if (adaptive_repartition &&
+      (adaptive.gain <= 0.0 || adaptive.gain > 1.0)) {
+    reject(ConfigErrorCode::kBadAdaptiveGain,
+           "adaptive.gain must be in (0, 1]");
+  }
+  if (!(fault.deadline_factor > 0.0) ||
+      !std::isfinite(fault.deadline_factor)) {
+    reject(ConfigErrorCode::kBadDeadlineFactor,
+           "fault.deadline_factor must be finite and > 0");
+  }
+  if (!(fault.backoff_base_s >= 0.0) || !std::isfinite(fault.backoff_base_s)) {
+    reject(ConfigErrorCode::kBadBackoff,
+           "fault.backoff_base_s must be finite and >= 0");
+  }
+  if (fault.checkpoint_every == 0) {
+    reject(ConfigErrorCode::kZeroCheckpointCadence,
+           "fault.checkpoint_every is 0");
+  }
+  return errors;
+}
 
 HccMf::HccMf(HccMfConfig config) : config_(std::move(config)) {
   if (config_.platform.workers.empty()) {
@@ -64,7 +131,8 @@ Plan HccMf::plan_for(const sim::DatasetShape& shape) const {
 }
 
 void HccMf::accumulate_timing(TrainReport& report, const DataManager& manager,
-                              const Plan& plan) {
+                              const Plan& plan,
+                              const fault::FaultInjector* injector) {
   const std::uint32_t epochs = config_.sgd.epochs;
   report.epochs.reserve(epochs);
 
@@ -75,14 +143,32 @@ void HccMf::accumulate_timing(TrainReport& report, const DataManager& manager,
   if (config_.adaptive_repartition) {
     controller.emplace(plan.shares, config_.adaptive);
   }
+  const bool injecting = injector != nullptr && !injector->plan().empty();
+  std::vector<bool> alive(live_plan.shares.size(), true);
 
   for (std::uint32_t e = 0; e < epochs; ++e) {
+    // Fault composition on the virtual platform: a killed worker's share is
+    // redistributed from its death epoch on (the timing-path mirror of the
+    // functional recovery), a stalled worker's update/transfer rate drops
+    // by its stall factor.
+    if (injecting) {
+      for (std::size_t w = 0; w < live_plan.shares.size(); ++w) {
+        if (alive[w] &&
+            injector->kill_scheduled(static_cast<std::uint32_t>(w), e)) {
+          alive[w] = false;
+          live_plan.shares = redistribute_dead_share(live_plan.shares, w);
+        }
+      }
+    }
     sim::EpochConfig cfg = manager.epoch_config(live_plan, e + 1 == epochs);
     cfg.seed = config_.manager.seed + 17 * (e + 1);
-    if (config_.rate_disturbance) {
-      for (std::size_t w = 0; w < cfg.workers.size(); ++w) {
-        cfg.workers[w].rate_scale = config_.rate_disturbance(e, w);
+    for (std::size_t w = 0; w < cfg.workers.size(); ++w) {
+      double scale = 1.0;
+      if (config_.rate_disturbance) scale = config_.rate_disturbance(e, w);
+      if (injecting) {
+        scale /= injector->stall_factor(static_cast<std::uint32_t>(w), e);
       }
+      cfg.workers[w].rate_scale = scale;
     }
     EpochReport er;
     er.epoch = e;
@@ -119,10 +205,12 @@ void HccMf::accumulate_timing(TrainReport& report, const DataManager& manager,
 }
 
 TrainReport HccMf::simulate(const sim::DatasetShape& shape) {
+  validate_or_throw(config_);
   DataManager manager(config_.platform, shape, config_.comm, config_.manager);
   TrainReport report;
   report.plan = manager.plan(config_.partition);
-  accumulate_timing(report, manager, report.plan);
+  fault::FaultInjector injector(config_.fault.plan);
+  accumulate_timing(report, manager, report.plan, &injector);
   const double updates = static_cast<double>(shape.nnz) * config_.sgd.epochs;
   report.updates_per_s =
       report.total_virtual_s > 0.0 ? updates / report.total_virtual_s : 0.0;
@@ -135,6 +223,7 @@ TrainReport HccMf::simulate(const sim::DatasetShape& shape) {
 
 TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
                          const data::RatingMatrix* test_ratings) {
+  validate_or_throw(config_);
   // Column-grid case: transpose so the rest of the pipeline is always
   // row-grid ("Transmitting P only" is Q-only on the transpose).
   const bool transpose = train_ratings.cols() > train_ratings.rows();
@@ -173,17 +262,10 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
   model.init_random(rng, static_cast<float>(mean));
   Server server(std::move(model), config_.comm);
 
-  // Per-item merge weights: worker w's fraction of each item's ratings.
-  // Items rated inside a single worker's slice merge at weight 1 (the
-  // serial update, exactly); contested items combine proportionally.
-  std::vector<std::vector<std::size_t>> item_counts;
-  std::vector<std::size_t> item_totals(shape.n, 0);
-  for (const auto& slice : slices) {
-    item_counts.push_back(slice.col_counts());
-    for (std::size_t i = 0; i < shape.n; ++i) {
-      item_totals[i] += item_counts.back()[i];
-    }
-  }
+  // Fault tolerance: with no plan and no checkpoint dir the runtime is
+  // inert — no checksums, no extra wire bytes, no injections — and the
+  // training trajectory is bit-identical to a build without it.
+  fault::FaultRuntime fault_rt(config_.fault);
 
   std::vector<TrainWorker> workers;
   std::uint32_t max_streams = 1;
@@ -194,15 +276,38 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
     max_streams = std::max(max_streams, streams);
     workers.emplace_back(static_cast<std::uint32_t>(i), device.name,
                          std::move(slices[i]), config_.comm, streams);
-    std::vector<float> weights(shape.n, 0.0f);
-    for (std::size_t item = 0; item < shape.n; ++item) {
-      if (item_totals[item] > 0) {
-        weights[item] = static_cast<float>(item_counts[i][item]) /
-                        static_cast<float>(item_totals[item]);
+    workers.back().set_fault_runtime(&fault_rt);
+  }
+
+  std::vector<bool> alive(workers.size(), true);
+
+  // Per-item merge weights: worker w's fraction of each item's ratings.
+  // Items rated inside a single worker's slice merge at weight 1 (the
+  // serial update, exactly); contested items combine proportionally.
+  // Recomputed after a degraded-mode repartition (dead workers excluded).
+  auto refresh_item_weights = [&]() {
+    std::vector<std::size_t> item_totals(shape.n, 0);
+    std::vector<std::vector<std::size_t>> item_counts(workers.size());
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (!alive[w]) continue;
+      item_counts[w] = workers[w].slice().col_counts();
+      for (std::size_t i = 0; i < shape.n; ++i) {
+        item_totals[i] += item_counts[w][i];
       }
     }
-    workers.back().set_item_weights(std::move(weights));
-  }
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (!alive[w]) continue;
+      std::vector<float> weights(shape.n, 0.0f);
+      for (std::size_t item = 0; item < shape.n; ++item) {
+        if (item_totals[item] > 0) {
+          weights[item] = static_cast<float>(item_counts[w][item]) /
+                          static_cast<float>(item_totals[item]);
+        }
+      }
+      workers[w].set_item_weights(std::move(weights));
+    }
+  };
+  refresh_item_weights();
 
   std::unique_ptr<util::ThreadPool> pool;
   if (config_.host_threads > 0) {
@@ -210,7 +315,7 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
   }
 
   // Timing runs alongside the functional loop but is fully decoupled.
-  accumulate_timing(report, manager, report.plan);
+  accumulate_timing(report, manager, report.plan, &fault_rt.injector());
 
   const bool quantizing_pq_each_epoch =
       config_.comm.fp16 &&
@@ -218,52 +323,164 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
 
   float lr = config_.sgd.learn_rate;
   double prev_sync_s = 0.0;
-  for (std::uint32_t epoch = 0; epoch < config_.sgd.epochs; ++epoch) {
-    obs::ScopedSpan epoch_span("epoch " + std::to_string(epoch),
-                               obs::kEpochCategory);
-    // pull -> compute -> push, chunked per worker by its stream depth
-    // (Figure 6's pipelines; chunk boundaries act as the async syncs).
-    for (std::uint32_t chunk = 0; chunk < max_streams; ++chunk) {
-      for (auto& w : workers) {
-        if (chunk < w.streams()) w.pull(server);
-      }
-      for (auto& w : workers) {
-        if (chunk < w.streams()) {
-          w.compute_chunk(server, chunk, lr, config_.sgd.reg_p,
-                          config_.sgd.reg_q, pool.get());
+
+  // Checkpoints back both the divergence guard and worker-death recovery.
+  // The copy happens outside the instrumented phase spans, so fault-free
+  // epoch reports are unaffected.
+  fault::CheckpointStore ckpts(config_.fault.checkpoint_dir);
+  const bool checkpointing =
+      fault_rt.active() || config_.fault.divergence_guard;
+  if (checkpointing) {
+    ckpts.save({0, lr, config_.sgd.seed, server.model()});
+  }
+  std::vector<double> live_shares = report.plan.shares;
+  std::uint32_t rollbacks_done = 0;
+
+  std::uint32_t epoch = 0;
+  while (epoch < config_.sgd.epochs) {
+    fault_rt.injector().begin_epoch(epoch);
+    const std::uint64_t injected_before = fault_rt.injector().injected();
+    const std::uint64_t retries_before = fault_rt.retries();
+    try {
+      obs::ScopedSpan epoch_span("epoch " + std::to_string(epoch),
+                                 obs::kEpochCategory);
+      if (fault_rt.active()) {
+        for (auto& w : workers) {
+          w.set_stall_factor(
+              fault_rt.injector().stall_factor(w.id(), epoch));
         }
       }
-      for (auto& w : workers) {
-        if (chunk < w.streams()) w.push(server);
+      // pull -> compute -> push, chunked per worker by its stream depth
+      // (Figure 6's pipelines; chunk boundaries act as the async syncs).
+      for (std::uint32_t chunk = 0; chunk < max_streams; ++chunk) {
+        for (auto& w : workers) {
+          if (alive[w.id()] && chunk < w.streams()) w.pull(server);
+        }
+        for (auto& w : workers) {
+          if (alive[w.id()] && chunk < w.streams()) {
+            w.compute_chunk(server, chunk, lr, config_.sgd.reg_p,
+                            config_.sgd.reg_q, pool.get());
+          }
+        }
+        for (auto& w : workers) {
+          if (alive[w.id()] && chunk < w.streams()) w.push(server);
+        }
       }
-    }
-    if (quantizing_pq_each_epoch) server.roundtrip_p_through_codec();
-    lr *= config_.sgd.lr_decay;
+      if (quantizing_pq_each_epoch) server.roundtrip_p_through_codec();
+      lr *= config_.sgd.lr_decay;
 
-    // Harvest the instrumented wall-clock phase times into the same
-    // EpochTiming shape the sim layer renders (CSV / Chrome trace).
-    EpochReport& er = report.epochs[epoch];
-    er.measured.workers.resize(workers.size());
-    for (std::size_t w = 0; w < workers.size(); ++w) {
-      const obs::PhaseTimes t = workers[w].take_measured();
-      er.measured.workers[w].pull_s = t.pull_s;
-      er.measured.workers[w].compute_s = t.compute_s;
-      er.measured.workers[w].push_s = t.push_s;
-      er.measured.workers[w].sync_s = t.sync_s;
-      util::log_kv(util::LogLevel::kDebug, "epoch_timing",
-                   {util::kv("epoch", epoch),
-                    util::kv("worker", static_cast<std::uint32_t>(w)),
-                    util::kv("pull_s", t.pull_s),
-                    util::kv("compute_s", t.compute_s),
-                    util::kv("push_s", t.push_s),
-                    util::kv("sync_s", t.sync_s)});
-    }
-    er.measured.server_busy_s = server.measured_sync_s() - prev_sync_s;
-    prev_sync_s = server.measured_sync_s();
-    er.measured.epoch_s = epoch_span.stop();
+      // Harvest the instrumented wall-clock phase times into the same
+      // EpochTiming shape the sim layer renders (CSV / Chrome trace).
+      EpochReport& er = report.epochs[epoch];
+      er.measured.workers.assign(workers.size(), {});
+      std::vector<obs::PhaseTimes> measured(workers.size());
+      for (std::size_t w = 0; w < workers.size(); ++w) {
+        const obs::PhaseTimes t = workers[w].take_measured();
+        measured[w] = t;
+        er.measured.workers[w].pull_s = t.pull_s;
+        er.measured.workers[w].compute_s = t.compute_s;
+        er.measured.workers[w].push_s = t.push_s;
+        er.measured.workers[w].sync_s = t.sync_s;
+        util::log_kv(util::LogLevel::kDebug, "epoch_timing",
+                     {util::kv("epoch", epoch),
+                      util::kv("worker", static_cast<std::uint32_t>(w)),
+                      util::kv("pull_s", t.pull_s),
+                      util::kv("compute_s", t.compute_s),
+                      util::kv("push_s", t.push_s),
+                      util::kv("sync_s", t.sync_s)});
+      }
+      er.measured.server_busy_s = server.measured_sync_s() - prev_sync_s;
+      prev_sync_s = server.measured_sync_s();
+      er.measured.epoch_s = epoch_span.stop();
+      er.fault_injected = static_cast<std::uint32_t>(
+          fault_rt.injector().injected() - injected_before);
+      er.fault_retries =
+          static_cast<std::uint32_t>(fault_rt.retries() - retries_before);
 
-    if (test_ratings != nullptr && config_.evaluate_each_epoch) {
-      report.epochs[epoch].test_rmse = mf::rmse(server.model(), *test_ratings);
+      // Deadline detection: measured wall clock vs the Eq. 1-5 prediction
+      // for the live (possibly degraded) plan, median-normalized across
+      // the surviving workers.
+      if (fault_rt.active()) {
+        Plan live_plan = report.plan;
+        live_plan.shares = live_shares;
+        const sim::EpochConfig cfg = manager.epoch_config(
+            live_plan, epoch + 1 == config_.sgd.epochs);
+        er.stragglers.clear();
+        const auto mask = fault::straggler_mask(
+            measured, predicted_phases(cfg), config_.fault.deadline_factor,
+            alive);
+        for (std::size_t w = 0; w < mask.size(); ++w) {
+          if (mask[w]) er.stragglers.push_back(static_cast<std::uint32_t>(w));
+        }
+        if (!er.stragglers.empty()) {
+          fault_rt.count_stragglers(er.stragglers.size());
+          util::log_kv(
+              util::LogLevel::kWarn, "fault.stragglers",
+              {util::kv("epoch", epoch),
+               util::kv("count",
+                        static_cast<std::uint64_t>(er.stragglers.size()))});
+        }
+      }
+
+      if (test_ratings != nullptr && config_.evaluate_each_epoch) {
+        er.test_rmse = mf::rmse(server.model(), *test_ratings);
+      }
+      ++epoch;
+      if (checkpointing && epoch % config_.fault.checkpoint_every == 0) {
+        ckpts.save({epoch, lr, config_.sgd.seed, server.model()});
+      }
+    } catch (const fault::WorkerFault& dead) {
+      // Degraded-mode recovery: mark the worker dead, hand its rows to the
+      // survivors (DP1's multiplicative compensation, at row granularity),
+      // roll the model back to the last consistent checkpoint and resume.
+      obs::ScopedSpan rec_span("fault recovery", obs::kEpochCategory);
+      util::Stopwatch watch;
+      const std::uint32_t victim = dead.worker();
+      for (auto& w : workers) (void)w.take_measured();
+      if (victim >= workers.size() || !alive[victim] ||
+          !ckpts.has_checkpoint()) {
+        throw;  // nothing left to degrade to
+      }
+      alive[victim] = false;
+      report.fault.dead_workers.push_back(victim);
+      live_shares = redistribute_dead_share(live_shares, victim);
+      const auto batches = fault::split_entries_by_shares(
+          workers[victim].slice(), live_shares);
+      for (std::size_t w = 0; w < workers.size(); ++w) {
+        if (w != victim && !batches[w].empty()) {
+          workers[w].absorb_entries(batches[w]);
+        }
+      }
+      refresh_item_weights();
+      const fault::Checkpoint& ck = ckpts.latest();
+      server.model() = ck.model;
+      lr = ck.lr;
+      epoch = ck.next_epoch;
+      prev_sync_s = server.measured_sync_s();
+      fault_rt.count_recovery(watch.seconds());
+      util::log_kv(util::LogLevel::kWarn, "fault.recovery",
+                   {util::kv("worker", victim),
+                    util::kv("resume_epoch", epoch),
+                    util::kv("wall_s", watch.seconds())});
+    } catch (const fault::DivergenceError& div) {
+      // Divergence guard: rewind to the checkpoint with a halved learning
+      // rate; the halving persists via the re-saved checkpoint.
+      for (auto& w : workers) (void)w.take_measured();
+      if (rollbacks_done >= config_.fault.max_rollbacks ||
+          !ckpts.has_checkpoint()) {
+        throw fault::TrainingDivergedError(rollbacks_done);
+      }
+      ++rollbacks_done;
+      const fault::Checkpoint& ck = ckpts.latest();
+      server.model() = ck.model;
+      lr = ck.lr * 0.5f;
+      epoch = ck.next_epoch;
+      ckpts.save({epoch, lr, config_.sgd.seed, server.model()});
+      prev_sync_s = server.measured_sync_s();
+      fault_rt.count_rollback();
+      util::log_kv(util::LogLevel::kWarn, "fault.rollback",
+                   {util::kv("worker", div.worker()),
+                    util::kv("resume_epoch", epoch), util::kv("lr", lr)});
     }
   }
   // The final push transmits P as well (Strategy 1's closing P&Q push).
@@ -276,6 +493,18 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
   }
 
   for (const auto& w : workers) report.comm_totals += w.comm_stats();
+
+  report.fault.injected = fault_rt.injector().injected();
+  report.fault.retries = fault_rt.retries();
+  report.fault.checksum_failures = fault_rt.checksum_failures();
+  report.fault.recoveries = fault_rt.recoveries();
+  report.fault.divergence_rollbacks = fault_rt.rollbacks();
+  report.fault.stragglers = fault_rt.stragglers();
+  report.fault.recovery_wall_s = fault_rt.recovery_wall_s();
+  report.fault.worker_nnz.resize(workers.size());
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    report.fault.worker_nnz[w] = alive[w] ? workers[w].assigned_nnz() : 0;
+  }
 
   const double updates = static_cast<double>(shape.nnz) * config_.sgd.epochs;
   report.updates_per_s =

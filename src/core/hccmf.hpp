@@ -24,11 +24,32 @@
 #include "core/server.hpp"
 #include "core/worker.hpp"
 #include "data/datasets.hpp"
+#include "fault/plan.hpp"
 #include "mf/model.hpp"
 #include "obs/drift.hpp"
 #include "sim/platform.hpp"
 
 namespace hcc::core {
+
+/// What HccMfConfig::validate() can object to.
+enum class ConfigErrorCode {
+  kNoWorkers,
+  kZeroLatentDim,
+  kZeroEpochs,
+  kBadLearnRate,
+  kBadRegularization,
+  kBadDecay,
+  kZeroStreams,
+  kBadAdaptiveGain,
+  kBadDeadlineFactor,
+  kBadBackoff,
+  kZeroCheckpointCadence,
+};
+
+struct ConfigError {
+  ConfigErrorCode code;
+  std::string message;
+};
 
 /// Everything configurable about a run.
 struct HccMfConfig {
@@ -54,6 +75,17 @@ struct HccMfConfig {
   /// emulating throttling / co-tenancy (1.0 = nominal; empty = none).
   std::function<double(std::uint32_t epoch, std::size_t worker)>
       rate_disturbance;
+
+  /// Fault tolerance (see fault/plan.hpp and docs/fault_tolerance.md):
+  /// scripted failure injection, checkpointing, detection and recovery.
+  /// Defaults leave the wire format and training trajectory bit-identical
+  /// to a build without the subsystem.
+  fault::FaultOptions fault;
+
+  /// Checks the whole config once and returns every violation (empty =
+  /// valid).  train()/simulate() call this and throw std::invalid_argument
+  /// with the joined messages on the first violation.
+  std::vector<ConfigError> validate() const;
 };
 
 /// Per-epoch record.
@@ -72,6 +104,26 @@ struct EpochReport {
   /// `timing`, so every exporter that renders simulated epochs renders
   /// measured ones too.
   sim::EpochTiming measured;
+  /// Fault-tolerance observations for this epoch's (last) execution: how
+  /// many injections and transfer retries it absorbed, and which workers
+  /// blew their cost-model deadline.  All zero/empty when the subsystem is
+  /// idle.
+  std::uint32_t fault_injected = 0;
+  std::uint32_t fault_retries = 0;
+  std::vector<std::uint32_t> stragglers;
+};
+
+/// Run-level fault-tolerance summary (see fault/recovery.hpp).
+struct FaultSummary {
+  std::uint64_t injected = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t recoveries = 0;             ///< worker deaths survived
+  std::uint64_t divergence_rollbacks = 0;
+  std::uint64_t stragglers = 0;             ///< deadline violations flagged
+  double recovery_wall_s = 0.0;             ///< total time spent recovering
+  std::vector<std::uint32_t> dead_workers;  ///< ids, in order of death
+  std::vector<std::size_t> worker_nnz;      ///< final assignment (0 = dead)
 };
 
 /// The result of a run.
@@ -85,6 +137,7 @@ struct TrainReport {
   double comm_virtual_s = 0.0;       ///< cumulative pull+push time (Table 5)
   comm::TransferStats comm_totals;   ///< functional wire accounting
   std::uint32_t repartitions = 0;    ///< adaptive rebalances performed
+  FaultSummary fault;                ///< fault-tolerance tallies for the run
   std::optional<mf::FactorModel> model;  ///< final model (functional runs)
 };
 
@@ -110,8 +163,12 @@ class HccMf {
 
  private:
   sim::DatasetShape shape_of(const data::RatingMatrix& m) const;
+  /// `injector` (optional) composes scripted stalls/kills into the virtual
+  /// timing path: a killed worker's share redistributes from its death
+  /// epoch, a stalled worker's rates drop by its stall factor.
   void accumulate_timing(TrainReport& report, const DataManager& manager,
-                         const Plan& plan);
+                         const Plan& plan,
+                         const fault::FaultInjector* injector = nullptr);
 
   HccMfConfig config_;
 };

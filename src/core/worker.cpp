@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <thread>
 
+#include "fault/errors.hpp"
+#include "mf/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/clock.hpp"
+#include "util/log.hpp"
 
 namespace hcc::core {
 
@@ -24,10 +29,7 @@ TrainWorker::TrainWorker(std::uint32_t id, std::string device_name,
       sparse_(config.sparse),
       backend_(comm::make_backend(config)) {
   if (sparse_) {
-    const auto counts = slice_.col_counts();
-    for (std::uint32_t i = 0; i < counts.size(); ++i) {
-      if (counts[i] > 0) touched_.push_back(i);
-    }
+    rebuild_touched();
   }
   const std::string base = "worker" + std::to_string(id_) + ".";
   auto& reg = obs::registry();
@@ -38,6 +40,63 @@ TrainWorker::TrainWorker(std::uint32_t id, std::string device_name,
   obs::trace().set_track_name(track_of(id_),
                               "worker " + std::to_string(id_) + " (" +
                                   device_name_ + ")");
+}
+
+void TrainWorker::set_fault_runtime(fault::FaultRuntime* runtime) {
+  fault_ = runtime;
+  if (runtime != nullptr && runtime->active()) {
+    backend_->set_checksum_enabled(true);
+    backend_->set_wire_tap([runtime](std::span<std::byte> wire) {
+      runtime->injector().tap_wire(wire);
+    });
+  }
+}
+
+void TrainWorker::rebuild_touched() {
+  touched_.clear();
+  const auto counts = slice_.col_counts();
+  for (std::uint32_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > 0) touched_.push_back(i);
+  }
+}
+
+void TrainWorker::absorb_entries(const std::vector<data::Rating>& entries) {
+  if (entries.empty()) return;
+  for (const auto& e : entries) slice_.add(e.u, e.i, e.r);
+  if (sparse_) rebuild_touched();
+}
+
+void TrainWorker::record_phase(double seconds, double obs::PhaseTimes::*field,
+                               obs::Histogram* hist) {
+  const double s = seconds * stall_factor_;
+  measured_.*field += s;
+  hist->observe(s);
+}
+
+void TrainWorker::transfer_with_retry(std::span<const float> src,
+                                      std::span<float> dst,
+                                      const comm::Codec& codec) {
+  std::uint32_t attempt = 0;
+  for (;;) {
+    try {
+      backend_->transfer(src, dst, codec);
+      return;
+    } catch (const comm::ChecksumError&) {
+      if (fault_ == nullptr) throw;
+      fault_->count_checksum_failure();
+      if (attempt >= fault_->options().max_retries) {
+        throw fault::TransferFailure(id_, attempt + 1);
+      }
+      // The transfer re-reads `src`, so a retry is idempotent.
+      fault_->count_retry();
+      const double backoff =
+          fault_->options().backoff_base_s * static_cast<double>(1u << attempt);
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      ++attempt;
+    }
+  }
 }
 
 void TrainWorker::gather_touched(std::span<const float> q,
@@ -60,6 +119,7 @@ void TrainWorker::scatter_touched(const std::vector<float>& packed,
 }
 
 void TrainWorker::pull(Server& server) {
+  if (fault_ != nullptr) fault_->injector().check_phase(id_);
   obs::ScopedSpan span("pull", obs::kPhaseCategory, track_of(id_));
   const std::span<const float> global_q = server.model().q_data();
   if (local_q_.size() != global_q.size()) {
@@ -72,19 +132,17 @@ void TrainWorker::pull(Server& server) {
     const std::uint32_t k = server.model().k();
     gather_touched(global_q, packed_send_, k);
     packed_recv_.resize(packed_send_.size());
-    backend_->transfer(packed_send_, packed_recv_, server.codec());
+    transfer_with_retry(packed_send_, packed_recv_, server.codec());
     scatter_touched(packed_recv_, local_q_, k);
   } else {
-    backend_->transfer(global_q, local_q_, server.codec());
+    transfer_with_retry(global_q, local_q_, server.codec());
   }
   // The snapshot is what this worker *received* (post-codec), so the later
   // delta merge cancels the pull's quantization exactly.  Under sparse
   // push the untouched rows copy local (stale) values: their delta is then
   // exactly zero, so they neither travel nor merge.
   std::copy(local_q_.begin(), local_q_.end(), snapshot_q_.begin());
-  const double s = span.stop();
-  measured_.pull_s += s;
-  hist_pull_->observe(s);
+  record_phase(span.stop(), &obs::PhaseTimes::pull_s, hist_pull_);
 }
 
 void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
@@ -92,6 +150,7 @@ void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
                                 util::ThreadPool* pool) {
   assert(chunk < streams_);
   assert(!local_q_.empty() && "pull() must precede compute_chunk()");
+  if (fault_ != nullptr) fault_->injector().check_phase(id_);
   obs::ScopedSpan span("compute", obs::kPhaseCategory, track_of(id_));
   span.arg("chunk", std::to_string(chunk));
   mf::FactorModel& model = server.model();
@@ -115,28 +174,40 @@ void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
   } else {
     body(lo, hi);
   }
-  const double s = span.stop();
-  measured_.compute_s += s;
-  hist_compute_->observe(s);
+  last_chunk_ = chunk;
+  record_phase(span.stop(), &obs::PhaseTimes::compute_s, hist_compute_);
+
+  // Divergence guard: a runaway learning rate poisons whole Q rows within
+  // one chunk; catch it here, before push spreads it to the server.
+  if (fault_ != nullptr && fault_->options().divergence_guard &&
+      !mf::all_finite(local_q_)) {
+    util::log_kv(util::LogLevel::kWarn, "fault.divergence",
+                 {util::kv("worker", id_),
+                  util::kv("epoch", fault_->injector().current_epoch())});
+    throw fault::DivergenceError(id_, fault_->injector().current_epoch());
+  }
 }
 
 void TrainWorker::push(Server& server) {
   assert(!local_q_.empty() && "pull() must precede push()");
+  if (fault_ != nullptr) {
+    fault_->injector().check_phase(id_);
+    fault_->injector().begin_push(id_, last_chunk_);
+  }
   obs::ScopedSpan span("push", obs::kPhaseCategory, track_of(id_));
   if (sparse_) {
     const std::uint32_t k = server.model().k();
     gather_touched(local_q_, packed_send_, k);
     packed_recv_.resize(packed_send_.size());
-    backend_->transfer(packed_send_, packed_recv_, server.codec());
+    transfer_with_retry(packed_send_, packed_recv_, server.codec());
     // Untouched rows carry the snapshot, so their merge delta is zero.
     std::copy(snapshot_q_.begin(), snapshot_q_.end(), push_staging_.begin());
     scatter_touched(packed_recv_, push_staging_, k);
   } else {
-    backend_->transfer(local_q_, push_staging_, server.codec());
+    transfer_with_retry(local_q_, push_staging_, server.codec());
   }
-  const double push_s = span.stop();
-  measured_.push_s += push_s;
-  hist_push_->observe(push_s);
+  if (fault_ != nullptr) fault_->injector().end_push();
+  record_phase(span.stop(), &obs::PhaseTimes::push_s, hist_push_);
 
   // The server-side merge is the paper's T_sync term — timed separately
   // and attributed to this worker (the server records its own span).
@@ -147,9 +218,7 @@ void TrainWorker::push(Server& server) {
   } else {
     server.sync_q(push_staging_, snapshot_q_, sync_weight_);
   }
-  const double sync_s = sync_watch.seconds();
-  measured_.sync_s += sync_s;
-  hist_sync_->observe(sync_s);
+  record_phase(sync_watch.seconds(), &obs::PhaseTimes::sync_s, hist_sync_);
 }
 
 }  // namespace hcc::core

@@ -16,6 +16,7 @@
 #include "comm/strategy.hpp"
 #include "core/server.hpp"
 #include "data/rating_matrix.hpp"
+#include "fault/recovery.hpp"
 #include "obs/drift.hpp"
 #include "util/thread_pool.hpp"
 
@@ -56,6 +57,29 @@ class TrainWorker {
   /// worker's data share (see Server::sync_q).
   void push(Server& server);
 
+  /// Arms the fault-tolerance hooks: scheduled kill/corrupt injection,
+  /// wire checksums, bounded retry on checksum failure, and the post-chunk
+  /// divergence guard.  `runtime` must outlive the worker; nullptr disarms.
+  /// When the runtime is idle (no plan, no checkpoint dir) the only hook
+  /// left on is the divergence guard, which changes nothing unless a
+  /// non-finite value actually appears.
+  void set_fault_runtime(fault::FaultRuntime* runtime);
+
+  /// Timing-layer stall composition: scales the *recorded* phase seconds
+  /// (measured_ and the histograms) by `factor` without slowing the actual
+  /// computation — a stalled worker produces identical results, later.
+  void set_stall_factor(double factor) noexcept {
+    stall_factor_ = factor > 0.0 ? factor : 1.0;
+  }
+
+  /// This worker's rating slice (global coordinates).
+  const data::RatingMatrix& slice() const noexcept { return slice_; }
+
+  /// Degraded-mode repartition: appends a dead worker's entries to this
+  /// worker's slice and refreshes the touched-item set.  The caller must
+  /// re-derive per-item merge weights afterwards.
+  void absorb_entries(const std::vector<data::Rating>& entries);
+
   /// Sets the sync merge weight (the worker's data share x_i; default 1).
   void set_sync_weight(float weight) noexcept { sync_weight_ = weight; }
   float sync_weight() const noexcept { return sync_weight_; }
@@ -95,6 +119,18 @@ class TrainWorker {
   void scatter_touched(const std::vector<float>& packed, std::span<float> q,
                        std::uint32_t k) const;
 
+  /// Recomputes touched_ from the slice (after absorb_entries).
+  void rebuild_touched();
+
+  /// backend_->transfer with bounded retry + exponential backoff on
+  /// checksum failure; gives up with fault::TransferFailure.
+  void transfer_with_retry(std::span<const float> src, std::span<float> dst,
+                           const comm::Codec& codec);
+
+  /// Records one phase's wall-clock seconds (stall-inflated).
+  void record_phase(double seconds, double obs::PhaseTimes::*field,
+                    obs::Histogram* hist);
+
   std::uint32_t id_;
   std::string device_name_;
   obs::PhaseTimes measured_;
@@ -109,6 +145,9 @@ class TrainWorker {
   std::vector<std::uint32_t> touched_;  ///< items this slice rates (sparse)
   float sync_weight_ = 1.0f;
   std::vector<float> item_weights_;
+  fault::FaultRuntime* fault_ = nullptr;
+  double stall_factor_ = 1.0;
+  std::uint32_t last_chunk_ = 0;  ///< chunk index the pending push covers
   std::unique_ptr<comm::CommBackend> backend_;
   std::vector<float> local_q_;
   std::vector<float> snapshot_q_;

@@ -1,16 +1,19 @@
 #include "data/io.hpp"
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
 
 namespace hcc::data {
 
 namespace {
 constexpr std::array<char, 4> kMagic = {'H', 'C', 'C', 'M'};
-}
+constexpr std::size_t kBinaryHeaderBytes =
+    kMagic.size() + sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
+}  // namespace
 
 bool save_text(const RatingMatrix& matrix, const std::string& path) {
   std::ofstream out(path);
@@ -24,7 +27,8 @@ bool save_text(const RatingMatrix& matrix, const std::string& path) {
 RatingMatrix load_text(const std::string& path, std::uint32_t rows,
                        std::uint32_t cols) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw ParseError(path, 0, "cannot open");
+  const bool declared = rows != 0 && cols != 0;
   std::vector<Rating> entries;
   std::uint32_t max_u = 0;
   std::uint32_t max_i = 0;
@@ -36,18 +40,31 @@ RatingMatrix load_text(const std::string& path, std::uint32_t rows,
     std::istringstream ls(line);
     Rating e;
     if (!(ls >> e.u >> e.i >> e.r)) {
-      throw std::runtime_error(path + ":" + std::to_string(line_no) +
-                               ": malformed rating line");
+      throw ParseError(path, line_no, "malformed rating line");
+    }
+    std::string rest;
+    if (ls >> rest) {
+      throw ParseError(path, line_no,
+                       "trailing garbage after rating: '" + rest + "'");
+    }
+    if (!std::isfinite(e.r)) {
+      throw ParseError(path, line_no, "non-finite rating");
+    }
+    if (declared && (e.u >= rows || e.i >= cols)) {
+      throw ParseError(path, line_no, "entry outside declared dimensions");
     }
     max_u = std::max(max_u, e.u);
     max_i = std::max(max_i, e.i);
     entries.push_back(e);
   }
-  if (rows == 0 || cols == 0) {
+  if (!declared) {
+    if (!entries.empty() &&
+        (max_u == std::numeric_limits<std::uint32_t>::max() ||
+         max_i == std::numeric_limits<std::uint32_t>::max())) {
+      throw ParseError(path, 0, "index too large to infer dimensions");
+    }
     rows = max_u + 1;
     cols = max_i + 1;
-  } else if (max_u >= rows || max_i >= cols) {
-    throw std::runtime_error(path + ": entry outside declared dimensions");
   }
   return RatingMatrix(rows, cols, std::move(entries));
 }
@@ -69,21 +86,47 @@ bool save_binary(const RatingMatrix& matrix, const std::string& path) {
 
 RatingMatrix load_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw ParseError(path, 0, "cannot open");
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   std::array<char, 4> magic{};
   in.read(magic.data(), magic.size());
-  if (magic != kMagic) throw std::runtime_error(path + ": bad magic");
+  if (!in || magic != kMagic) throw ParseError(path, 0, "bad magic");
   std::uint32_t rows = 0;
   std::uint32_t cols = 0;
   std::uint64_t nnz = 0;
   in.read(reinterpret_cast<char*>(&rows), sizeof rows);
   in.read(reinterpret_cast<char*>(&cols), sizeof cols);
   in.read(reinterpret_cast<char*>(&nnz), sizeof nnz);
-  if (!in) throw std::runtime_error(path + ": truncated header");
+  if (!in) throw ParseError(path, 0, "truncated header");
+  // Check the claimed entry count against the actual file size *before*
+  // allocating: a corrupt header must not trigger a huge allocation.
+  if (nnz > (std::numeric_limits<std::uint64_t>::max() - kBinaryHeaderBytes) /
+                sizeof(Rating) ||
+      kBinaryHeaderBytes + nnz * sizeof(Rating) != file_size) {
+    throw ParseError(path, 0,
+                     "header claims " + std::to_string(nnz) +
+                         " entries but file holds " +
+                         std::to_string(file_size) + " bytes");
+  }
   std::vector<Rating> entries(nnz);
   in.read(reinterpret_cast<char*>(entries.data()),
           static_cast<std::streamsize>(nnz * sizeof(Rating)));
-  if (!in) throw std::runtime_error(path + ": truncated entries");
+  if (!in) throw ParseError(path, 0, "truncated entries");
+  for (std::size_t idx = 0; idx < entries.size(); ++idx) {
+    const Rating& e = entries[idx];
+    if (e.u >= rows || e.i >= cols) {
+      throw ParseError(path, 0,
+                       "entry " + std::to_string(idx) + " outside " +
+                           std::to_string(rows) + "x" + std::to_string(cols));
+    }
+    if (!std::isfinite(e.r)) {
+      throw ParseError(path, 0,
+                       "entry " + std::to_string(idx) + " has a non-finite "
+                           "rating");
+    }
+  }
   return RatingMatrix(rows, cols, std::move(entries));
 }
 

@@ -5,24 +5,51 @@
 // raw entry array for fast reload of generated datasets.
 #pragma once
 
+#include <cstddef>
+#include <stdexcept>
 #include <string>
 
 #include "data/rating_matrix.hpp"
 
 namespace hcc::data {
 
+/// Loader rejection with the offending location attached.  `line()` is
+/// 1-based for text formats and 0 when the whole file (header, size) is at
+/// fault.  Derives from std::runtime_error so existing catch sites keep
+/// working.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string path, std::size_t line, const std::string& what)
+      : std::runtime_error(line > 0 ? path + ":" + std::to_string(line) +
+                                          ": " + what
+                                    : path + ": " + what),
+        path_(std::move(path)),
+        line_(line) {}
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::string path_;
+  std::size_t line_;
+};
+
 /// Writes "u i r" lines.  Returns false on IO failure.
 bool save_text(const RatingMatrix& matrix, const std::string& path);
 
 /// Reads "u i r" lines; infers dimensions from the max indices unless both
-/// `rows` and `cols` are nonzero.  Throws std::runtime_error on parse errors.
+/// `rows` and `cols` are nonzero.  Throws ParseError (a std::runtime_error)
+/// naming the offending line on malformed triples, trailing garbage,
+/// non-finite ratings and out-of-range ids.
 RatingMatrix load_text(const std::string& path, std::uint32_t rows = 0,
                        std::uint32_t cols = 0);
 
 /// Writes the binary format (magic "HCCM", dims, nnz, raw entries).
 bool save_binary(const RatingMatrix& matrix, const std::string& path);
 
-/// Reads the binary format.  Throws std::runtime_error on a bad header.
+/// Reads the binary format.  Throws ParseError on a bad magic/header, an
+/// nnz that disagrees with the file size (checked *before* allocating), or
+/// out-of-range / non-finite entries.
 RatingMatrix load_binary(const std::string& path);
 
 }  // namespace hcc::data

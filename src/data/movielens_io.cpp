@@ -1,9 +1,12 @@
 #include "data/movielens_io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "data/io.hpp"
 
 namespace hcc::data {
 
@@ -25,25 +28,30 @@ std::vector<std::string_view> split_csv(std::string_view line) {
   return fields;
 }
 
-std::uint64_t parse_u64(std::string_view field, const std::string& context) {
+std::uint64_t parse_u64(std::string_view field, const std::string& path,
+                        std::size_t line) {
   std::uint64_t value = 0;
   const auto [ptr, ec] =
       std::from_chars(field.data(), field.data() + field.size(), value);
   if (ec != std::errc() || ptr != field.data() + field.size()) {
-    throw std::runtime_error(context + ": bad integer field '" +
-                             std::string(field) + "'");
+    throw ParseError(path, line,
+                     "bad integer field '" + std::string(field) + "'");
   }
   return value;
 }
 
-float parse_rating(std::string_view field, const std::string& context) {
+float parse_rating(std::string_view field, const std::string& path,
+                   std::size_t line) {
   // std::from_chars for float is fine on GCC 12; keep strtof fallback-free.
   float value = 0.0f;
   const auto [ptr, ec] =
       std::from_chars(field.data(), field.data() + field.size(), value);
   if (ec != std::errc() || ptr != field.data() + field.size()) {
-    throw std::runtime_error(context + ": bad rating field '" +
-                             std::string(field) + "'");
+    throw ParseError(path, line,
+                     "bad rating field '" + std::string(field) + "'");
+  }
+  if (!std::isfinite(value)) {
+    throw ParseError(path, line, "non-finite rating");
   }
   return value;
 }
@@ -52,7 +60,7 @@ float parse_rating(std::string_view field, const std::string& context) {
 
 MovieLensData load_movielens_csv(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw ParseError(path, 0, "cannot open");
 
   MovieLensData out;
   std::unordered_map<std::uint64_t, std::uint32_t> user_map;
@@ -68,13 +76,11 @@ MovieLensData load_movielens_csv(const std::string& path) {
     if (line_no == 1 && (line[0] == 'u' || line[0] == 'U')) continue;
     const auto fields = split_csv(line);
     if (fields.size() < 3) {
-      throw std::runtime_error(path + ":" + std::to_string(line_no) +
-                               ": expected at least 3 CSV fields");
+      throw ParseError(path, line_no, "expected at least 3 CSV fields");
     }
-    const std::string context = path + ":" + std::to_string(line_no);
-    const std::uint64_t user = parse_u64(fields[0], context);
-    const std::uint64_t item = parse_u64(fields[1], context);
-    const float rating = parse_rating(fields[2], context);
+    const std::uint64_t user = parse_u64(fields[0], path, line_no);
+    const std::uint64_t item = parse_u64(fields[1], path, line_no);
+    const float rating = parse_rating(fields[2], path, line_no);
 
     const auto [uit, u_new] = user_map.try_emplace(
         user, static_cast<std::uint32_t>(out.user_ids.size()));

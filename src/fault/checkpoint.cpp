@@ -1,0 +1,108 @@
+#include "fault/checkpoint.hpp"
+
+#include <array>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "mf/model_io.hpp"
+#include "util/log.hpp"
+
+namespace hcc::fault {
+
+namespace {
+constexpr std::array<char, 4> kMagic = {'H', 'C', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+std::string checkpoint_path(const std::string& dir, std::uint32_t epoch) {
+  return dir + "/ckpt_" + std::to_string(epoch) + ".hcck";
+}
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      util::log_kv(util::LogLevel::kWarn, "checkpoint_dir_error",
+                   {util::kv("dir", dir_), util::kv("error", ec.message())});
+    }
+  }
+}
+
+void CheckpointStore::save(const Checkpoint& ckpt) {
+  latest_ = ckpt;  // the rollback copy never depends on the disk
+  ++saved_;
+  if (dir_.empty()) return;
+
+  const std::string path = checkpoint_path(dir_, ckpt.next_epoch);
+  std::ofstream out(path, std::ios::binary);
+  bool ok = static_cast<bool>(out);
+  if (ok) {
+    out.write(kMagic.data(), kMagic.size());
+    const std::uint32_t version = kVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof version);
+    out.write(reinterpret_cast<const char*>(&ckpt.next_epoch),
+              sizeof ckpt.next_epoch);
+    out.write(reinterpret_cast<const char*>(&ckpt.lr), sizeof ckpt.lr);
+    out.write(reinterpret_cast<const char*>(&ckpt.rng_state),
+              sizeof ckpt.rng_state);
+    ok = mf::save_model(ckpt.model, out);
+  }
+  if (!ok) {
+    util::log_kv(util::LogLevel::kWarn, "checkpoint_write_error",
+                 {util::kv("path", path)});
+  }
+}
+
+Checkpoint CheckpointStore::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error(path + ": bad checkpoint magic");
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  if (in && version != kVersion) {
+    throw std::runtime_error(path + ": unsupported checkpoint version " +
+                             std::to_string(version));
+  }
+  Checkpoint ckpt;
+  in.read(reinterpret_cast<char*>(&ckpt.next_epoch), sizeof ckpt.next_epoch);
+  in.read(reinterpret_cast<char*>(&ckpt.lr), sizeof ckpt.lr);
+  in.read(reinterpret_cast<char*>(&ckpt.rng_state), sizeof ckpt.rng_state);
+  if (!in) throw std::runtime_error(path + ": truncated checkpoint header");
+  ckpt.model = mf::load_model(in, path);
+  return ckpt;
+}
+
+std::optional<Checkpoint> CheckpointStore::load_latest(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return std::nullopt;
+
+  std::uint32_t best_epoch = 0;
+  std::string best_path;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("ckpt_") || !name.ends_with(".hcck")) continue;
+    const std::string_view digits =
+        std::string_view(name).substr(5, name.size() - 5 - 5);
+    std::uint32_t epoch = 0;
+    const auto [ptr, perr] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), epoch);
+    if (perr != std::errc() || ptr != digits.data() + digits.size()) continue;
+    if (best_path.empty() || epoch >= best_epoch) {
+      best_epoch = epoch;
+      best_path = entry.path().string();
+    }
+  }
+  if (best_path.empty()) return std::nullopt;
+  return load(best_path);
+}
+
+}  // namespace hcc::fault

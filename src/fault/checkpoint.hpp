@@ -1,0 +1,60 @@
+// Epoch-boundary training checkpoints.
+//
+// A checkpoint captures everything needed to rewind training to a
+// consistent state: the full factor model (every worker's P rows plus the
+// server's Q — the server holds both between epochs), the epoch to resume
+// from, the live learning rate and the run's RNG seed word.  The latest
+// checkpoint always lives in memory (rollback must not depend on a disk);
+// when a directory is configured each checkpoint is also persisted as
+//   <dir>/ckpt_<epoch>.hcck
+// (magic "HCCK", version, resume state, then the model via mf::model_io)
+// so a crashed process can be resumed or a trained model recovered.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mf/model.hpp"
+
+namespace hcc::fault {
+
+struct Checkpoint {
+  std::uint32_t next_epoch = 0;  ///< first epoch to (re)run from this state
+  float lr = 0.0f;               ///< learning rate in force at next_epoch
+  std::uint64_t rng_state = 0;   ///< the run's seed word (reproducibility)
+  mf::FactorModel model;
+};
+
+class CheckpointStore {
+ public:
+  /// Memory-only store when `dir` is empty; otherwise also persists each
+  /// checkpoint under `dir` (created if missing).
+  explicit CheckpointStore(std::string dir = {});
+
+  /// Records `ckpt` as the latest (copy in memory) and, with a directory
+  /// configured, writes it to disk.  Disk failures are logged and ignored:
+  /// the in-memory copy keeps recovery working.
+  void save(const Checkpoint& ckpt);
+
+  bool has_checkpoint() const noexcept { return latest_.has_value(); }
+  const Checkpoint& latest() const { return *latest_; }
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::uint64_t saved() const noexcept { return saved_; }
+
+  /// Reads one checkpoint file; throws std::runtime_error on bad magic,
+  /// version or truncation.
+  static Checkpoint load(const std::string& path);
+
+  /// Scans `dir` for ckpt_<N>.hcck files and loads the highest-epoch one;
+  /// nullopt when the directory has none.
+  static std::optional<Checkpoint> load_latest(const std::string& dir);
+
+ private:
+  std::string dir_;
+  std::optional<Checkpoint> latest_;
+  std::uint64_t saved_ = 0;
+};
+
+}  // namespace hcc::fault

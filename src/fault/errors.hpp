@@ -1,0 +1,79 @@
+// Typed failures raised by the fault-tolerance machinery.
+//
+// The training loop distinguishes three escalation levels: a worker that is
+// *dead* (kill event, or a channel whose retries are exhausted) triggers
+// the full recovery path — rollback, repartition, degraded continuation;
+// a *diverged* model (NaN/Inf factors) triggers rollback with a halved
+// learning rate; everything below those levels (a corrupt payload caught
+// by its checksum) is retried in place and never surfaces as an exception.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hcc::fault {
+
+/// Base for unrecoverable per-worker failures (recovery repartitions).
+class WorkerFault : public std::runtime_error {
+ public:
+  WorkerFault(std::uint32_t worker, const std::string& what)
+      : std::runtime_error(what), worker_(worker) {}
+  std::uint32_t worker() const noexcept { return worker_; }
+
+ private:
+  std::uint32_t worker_;
+};
+
+/// A scripted kill event fired: the worker stops responding.
+class WorkerKilledError final : public WorkerFault {
+ public:
+  WorkerKilledError(std::uint32_t worker, std::uint32_t epoch)
+      : WorkerFault(worker, "worker " + std::to_string(worker) +
+                                " killed at epoch " + std::to_string(epoch)),
+        epoch_(epoch) {}
+  std::uint32_t epoch() const noexcept { return epoch_; }
+
+ private:
+  std::uint32_t epoch_;
+};
+
+/// A pull/push channel kept failing after bounded retries: the worker is
+/// unreachable and treated as dead.
+class TransferFailure final : public WorkerFault {
+ public:
+  TransferFailure(std::uint32_t worker, std::uint32_t attempts)
+      : WorkerFault(worker, "worker " + std::to_string(worker) +
+                                " transfer failed after " +
+                                std::to_string(attempts) + " attempts") {}
+};
+
+/// The ASGD inner loop produced non-finite factors (exploding learning
+/// rate); the run rolls back to the last checkpoint with a halved rate.
+class DivergenceError final : public std::runtime_error {
+ public:
+  DivergenceError(std::uint32_t worker, std::uint32_t epoch)
+      : std::runtime_error("worker " + std::to_string(worker) +
+                           " diverged (non-finite factors) at epoch " +
+                           std::to_string(epoch)),
+        worker_(worker),
+        epoch_(epoch) {}
+  std::uint32_t worker() const noexcept { return worker_; }
+  std::uint32_t epoch() const noexcept { return epoch_; }
+
+ private:
+  std::uint32_t worker_;
+  std::uint32_t epoch_;
+};
+
+/// Divergence persisted past FaultOptions::max_rollbacks — the run cannot
+/// make progress and refuses to return a poisoned model.
+class TrainingDivergedError final : public std::runtime_error {
+ public:
+  explicit TrainingDivergedError(std::uint32_t rollbacks)
+      : std::runtime_error("training diverged after " +
+                           std::to_string(rollbacks) +
+                           " checkpoint rollbacks") {}
+};
+
+}  // namespace hcc::fault

@@ -1,0 +1,112 @@
+#include "fault/injector.hpp"
+
+#include "util/log.hpp"
+
+namespace hcc::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      corrupt_spent_(plan_.events.size(), 0),
+      kill_fired_(plan_.events.size(), false) {}
+
+void FaultInjector::count_injection(std::uint64_t n) {
+  injected_ += n;
+  // Resolved on first injection so fault-free runs leave the metrics
+  // registry untouched (bit-identical metrics JSON without a plan).
+  if (injected_counter_ == nullptr) {
+    injected_counter_ = &obs::registry().counter("fault.injected");
+  }
+  injected_counter_->add(n);
+}
+
+void FaultInjector::begin_epoch(std::uint32_t epoch) {
+  epoch_ = epoch;
+  push_armed_ = false;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kStall && e.epoch == epoch) {
+      count_injection();
+      util::log_kv(util::LogLevel::kWarn, "fault_injected",
+                   {util::kv("kind", "stall"), util::kv("worker", e.worker),
+                    util::kv("epoch", epoch),
+                    util::kv("factor", e.stall_factor)});
+    }
+  }
+}
+
+void FaultInjector::check_phase(std::uint32_t worker) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.kind != FaultKind::kKill || e.worker != worker || kill_fired_[i]) {
+      continue;
+    }
+    if (e.epoch == epoch_) {
+      kill_fired_[i] = true;
+      count_injection();
+      util::log_kv(util::LogLevel::kWarn, "fault_injected",
+                   {util::kv("kind", "kill"), util::kv("worker", worker),
+                    util::kv("epoch", epoch_)});
+      throw WorkerKilledError(worker, epoch_);
+    }
+  }
+}
+
+bool FaultInjector::kill_scheduled(std::uint32_t worker,
+                                   std::uint32_t epoch) const {
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kKill && e.worker == worker && e.epoch == epoch) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::stall_factor(std::uint32_t worker,
+                                   std::uint32_t epoch) const {
+  double factor = 1.0;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kStall && e.worker == worker &&
+        e.epoch == epoch) {
+      factor *= e.stall_factor;
+    }
+  }
+  return factor;
+}
+
+void FaultInjector::begin_push(std::uint32_t worker, std::uint32_t chunk) {
+  push_armed_ = true;
+  push_worker_ = worker;
+  push_chunk_ = chunk;
+}
+
+void FaultInjector::end_push() { push_armed_ = false; }
+
+void FaultInjector::tap_wire(std::span<std::byte> wire) {
+  if (!push_armed_ || wire.empty()) return;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.kind != FaultKind::kCorrupt || e.worker != push_worker_ ||
+        e.epoch != epoch_ || e.chunk != push_chunk_ ||
+        corrupt_spent_[i] >= e.count) {
+      continue;
+    }
+    // Deterministic bit rot: the flipped positions depend only on the
+    // plan's seed, the event index and the attempt number.
+    util::Rng rng(plan_.seed ^ (0x9e37u + 1315423911u * i) ^
+                  (corrupt_spent_[i] * 0x100000001b3ULL));
+    // A contiguous run of XORed bytes: distinct positions, so the damage
+    // can never cancel itself out and the checksum is guaranteed to trip.
+    const std::size_t start = rng.uniform_u64(wire.size());
+    const std::size_t run = std::min(1 + rng.uniform_u64(8), wire.size());
+    for (std::size_t f = 0; f < run; ++f) {
+      wire[(start + f) % wire.size()] ^= std::byte{0xA5};
+    }
+    ++corrupt_spent_[i];
+    count_injection();
+    util::log_kv(util::LogLevel::kWarn, "fault_injected",
+                 {util::kv("kind", "corrupt"), util::kv("worker", push_worker_),
+                  util::kv("epoch", epoch_), util::kv("chunk", push_chunk_),
+                  util::kv("attempt", corrupt_spent_[i])});
+  }
+}
+
+}  // namespace hcc::fault

@@ -1,0 +1,76 @@
+// Deterministic fault injection (the runtime side of a FaultPlan).
+//
+// The injector sits at the two seams where a real multi-CPU/GPU platform
+// fails: the TrainWorker phase boundaries (a device that stops responding
+// or straggles) and the COMM wire (a transfer that delivers corrupt
+// bytes).  HccMf advances the injector's epoch cursor; workers consult it
+// at every phase start and route their wire buffers through its tap, so
+// both ShmComm and BrokerComm are exercised identically.  With an empty
+// plan every query is an O(1) no-op returning "healthy".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/errors.hpp"
+#include "fault/plan.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace hcc::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Moves the schedule cursor (HccMf calls this at each epoch start,
+  /// including replays after a rollback — events re-fire deterministically
+  /// for workers that are still alive to observe them).
+  void begin_epoch(std::uint32_t epoch);
+
+  std::uint32_t current_epoch() const noexcept { return epoch_; }
+
+  /// Throws WorkerKilledError when a kill event for `worker` is due at the
+  /// current epoch.  Workers call this at every phase start.
+  void check_phase(std::uint32_t worker);
+
+  /// True when a kill event for `worker` is scheduled at exactly `epoch`.
+  bool kill_scheduled(std::uint32_t worker, std::uint32_t epoch) const;
+
+  /// Straggle multiplier for a worker-epoch (1.0 = nominal).  Stacked
+  /// stall events multiply.
+  double stall_factor(std::uint32_t worker, std::uint32_t epoch) const;
+
+  /// Marks the transfer context the wire tap sees next (push direction
+  /// only — the plan grammar corrupts push payloads).
+  void begin_push(std::uint32_t worker, std::uint32_t chunk);
+  void end_push();
+
+  /// The COMM wire tap: mutates `wire` in place when a corrupt event
+  /// matches the armed (worker, epoch, chunk) and still has attempts to
+  /// burn.  Byte positions come from the plan's seed — deterministic.
+  void tap_wire(std::span<std::byte> wire);
+
+  /// Total injections performed (kills fired + stalls applied + payloads
+  /// corrupted); mirrored into the `fault.injected` counter.
+  std::uint64_t injected() const noexcept { return injected_; }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  void count_injection(std::uint64_t n = 1);
+
+  FaultPlan plan_;
+  std::uint32_t epoch_ = 0;
+  bool push_armed_ = false;
+  std::uint32_t push_worker_ = 0;
+  std::uint32_t push_chunk_ = 0;
+  std::vector<std::uint32_t> corrupt_spent_;  ///< per-event attempts burned
+  std::vector<bool> kill_fired_;              ///< per-event kill latched
+  std::uint64_t injected_ = 0;
+  obs::Counter* injected_counter_ = nullptr;  ///< lazily resolved
+};
+
+}  // namespace hcc::fault

@@ -1,0 +1,149 @@
+#include "fault/plan.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hcc::fault {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view token, const std::string& why) {
+  throw std::invalid_argument("FaultPlan: bad event '" + std::string(token) +
+                              "': " + why);
+}
+
+/// Parses an unsigned integer at the front of `s`, advancing it.
+std::uint64_t take_uint(std::string_view& s, std::string_view token,
+                        const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr == s.data()) {
+    bad_spec(token, std::string("expected ") + what);
+  }
+  s.remove_prefix(static_cast<std::size_t>(ptr - s.data()));
+  return value;
+}
+
+double take_double(std::string_view& s, std::string_view token,
+                   const char* what) {
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr == s.data()) {
+    bad_spec(token, std::string("expected ") + what);
+  }
+  s.remove_prefix(static_cast<std::size_t>(ptr - s.data()));
+  return value;
+}
+
+void expect(std::string_view& s, char c, std::string_view token) {
+  if (s.empty() || s.front() != c) {
+    bad_spec(token, std::string("expected '") + c + "'");
+  }
+  s.remove_prefix(1);
+}
+
+FaultEvent parse_event(std::string_view token) {
+  const std::size_t colon = token.find(':');
+  if (colon == std::string_view::npos) bad_spec(token, "missing ':'");
+  const std::string_view kind = token.substr(0, colon);
+  std::string_view rest = token.substr(colon + 1);
+
+  FaultEvent event;
+  if (kind == "kill") {
+    event.kind = FaultKind::kKill;
+  } else if (kind == "stall") {
+    event.kind = FaultKind::kStall;
+  } else if (kind == "corrupt") {
+    event.kind = FaultKind::kCorrupt;
+  } else {
+    bad_spec(token, "unknown kind '" + std::string(kind) + "'");
+  }
+
+  expect(rest, 'w', token);
+  event.worker = static_cast<std::uint32_t>(take_uint(rest, token, "worker"));
+  expect(rest, '@', token);
+  expect(rest, 'e', token);
+  event.epoch = static_cast<std::uint32_t>(take_uint(rest, token, "epoch"));
+
+  if (event.kind == FaultKind::kStall) {
+    expect(rest, 'x', token);
+    event.stall_factor = take_double(rest, token, "stall factor");
+    if (!(event.stall_factor > 1.0)) {
+      bad_spec(token, "stall factor must be > 1");
+    }
+  } else if (event.kind == FaultKind::kCorrupt) {
+    if (!rest.empty() && rest.front() == 's') {
+      rest.remove_prefix(1);
+      event.chunk = static_cast<std::uint32_t>(take_uint(rest, token, "chunk"));
+    }
+    if (!rest.empty() && rest.front() == 'n') {
+      rest.remove_prefix(1);
+      event.count = static_cast<std::uint32_t>(take_uint(rest, token, "count"));
+      if (event.count == 0) bad_spec(token, "count must be >= 1");
+    }
+  }
+  if (!rest.empty()) {
+    bad_spec(token, "trailing characters '" + std::string(rest) + "'");
+  }
+  return event;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKill: return "kill";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view token = spec.substr(start, end - start);
+    if (!token.empty()) plan.events.push_back(parse_event(token));
+    if (end == spec.size()) break;
+    start = end + 1;
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    if (!out.empty()) out += ';';
+    out += fault_kind_name(e.kind);
+    out += ":w" + std::to_string(e.worker) + "@e" + std::to_string(e.epoch);
+    if (e.kind == FaultKind::kStall) {
+      // Round-trippable for the integral factors the grammar typically uses.
+      const auto factor = static_cast<std::uint64_t>(e.stall_factor);
+      if (static_cast<double>(factor) == e.stall_factor) {
+        out += "x" + std::to_string(factor);
+      } else {
+        out += "x" + std::to_string(e.stall_factor);
+      }
+    } else if (e.kind == FaultKind::kCorrupt) {
+      if (e.chunk != 0) out += "s" + std::to_string(e.chunk);
+      if (e.count != 1) out += "n" + std::to_string(e.count);
+    }
+  }
+  return out;
+}
+
+FaultPlan plan_from_env() {
+  const char* spec = std::getenv("HCCMF_FAULT_PLAN");
+  if (spec == nullptr || *spec == '\0') return {};
+  FaultPlan plan = FaultPlan::parse(spec);
+  if (const char* seed = std::getenv("HCCMF_FAULT_SEED")) {
+    plan.seed = std::strtoull(seed, nullptr, 10);
+  }
+  return plan;
+}
+
+}  // namespace hcc::fault

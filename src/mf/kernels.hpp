@@ -9,11 +9,25 @@
 // differ only by reassociation (tests bound the divergence).
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "mf/model.hpp"
 
 namespace hcc::mf {
+
+/// Divergence guard for the ASGD inner loop: true iff every value is
+/// finite.  A single exploding sgd_update poisons its whole Q row within
+/// one epoch, so a post-chunk scan is enough to catch runaway learning
+/// rates before the next push spreads them.  Branch-free accumulation so
+/// the scan vectorizes.
+inline bool all_finite(std::span<const float> values) noexcept {
+  float acc = 0.0f;
+  for (const float v : values) acc += v * 0.0f;
+  return acc == 0.0f;  // any NaN/Inf makes acc NaN
+}
 
 /// Dot product, 4-wide unrolled (k % 4 == 0 required).
 inline float dot4(const float* a, const float* b, std::uint32_t k) noexcept {

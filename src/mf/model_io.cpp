@@ -11,9 +11,7 @@ constexpr std::array<char, 4> kMagic = {'H', 'C', 'C', 'F'};
 constexpr std::uint32_t kVersion = 1;
 }  // namespace
 
-bool save_model(const FactorModel& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
+bool save_model(const FactorModel& model, std::ostream& out) {
   out.write(kMagic.data(), kMagic.size());
   const std::uint32_t version = kVersion;
   const std::uint32_t users = model.users();
@@ -32,25 +30,25 @@ bool save_model(const FactorModel& model, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-FactorModel load_model(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path);
+FactorModel load_model(std::istream& in, const std::string& context) {
   std::array<char, 4> magic{};
   in.read(magic.data(), magic.size());
-  if (magic != kMagic) throw std::runtime_error(path + ": bad magic");
+  if (!in || magic != kMagic) {
+    throw std::runtime_error(context + ": bad magic");
+  }
   std::uint32_t version = 0;
   std::uint32_t users = 0;
   std::uint32_t items = 0;
   std::uint32_t k = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof version);
-  if (version != kVersion) {
-    throw std::runtime_error(path + ": unsupported version " +
+  if (in && version != kVersion) {
+    throw std::runtime_error(context + ": unsupported version " +
                              std::to_string(version));
   }
   in.read(reinterpret_cast<char*>(&users), sizeof users);
   in.read(reinterpret_cast<char*>(&items), sizeof items);
   in.read(reinterpret_cast<char*>(&k), sizeof k);
-  if (!in) throw std::runtime_error(path + ": truncated header");
+  if (!in) throw std::runtime_error(context + ": truncated header");
   FactorModel model(users, items, k);
   auto p = model.p_data();
   auto q = model.q_data();
@@ -58,8 +56,20 @@ FactorModel load_model(const std::string& path) {
           static_cast<std::streamsize>(p.size() * sizeof(float)));
   in.read(reinterpret_cast<char*>(q.data()),
           static_cast<std::streamsize>(q.size() * sizeof(float)));
-  if (!in) throw std::runtime_error(path + ": truncated factors");
+  if (!in) throw std::runtime_error(context + ": truncated factors");
   return model;
+}
+
+bool save_model(const FactorModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  return save_model(model, out);
+}
+
+FactorModel load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return load_model(in, path);
 }
 
 }  // namespace hcc::mf

@@ -6,6 +6,7 @@
 // then the raw P and Q arrays.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "mf/model.hpp"
@@ -18,5 +19,11 @@ bool save_model(const FactorModel& model, const std::string& path);
 /// Reads a model back.  Throws std::runtime_error on bad magic/version or
 /// truncation.
 FactorModel load_model(const std::string& path);
+
+/// Stream variants, so the model format can be embedded inside composite
+/// records (the fault subsystem's checkpoints append it after their own
+/// header).  `context` labels error messages (a path or a description).
+bool save_model(const FactorModel& model, std::ostream& out);
+FactorModel load_model(std::istream& in, const std::string& context);
 
 }  // namespace hcc::mf

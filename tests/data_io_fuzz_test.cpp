@@ -1,0 +1,214 @@
+// Robustness tests for the dataset loaders: corrupt fixtures must be
+// rejected with a located ParseError, and seeded byte-flip fuzzing must
+// never crash a loader — every outcome is either a valid matrix or a
+// clean exception.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "data/io.hpp"
+#include "data/movielens_io.hpp"
+#include "util/rng.hpp"
+
+namespace hcc::data {
+namespace {
+
+class DataIoFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "hccmf_io_fuzz";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write_file(const std::string& name, const std::string& body) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path, std::ios::binary);
+    out << body;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DataIoFuzzTest, TextTruncatedLineReportsLineNumber) {
+  const auto path = write_file("trunc.txt", "0 0 3.5\n1 2\n");
+  try {
+    (void)load_text(path);
+    FAIL() << "truncated line must be rejected";
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 2u);
+    EXPECT_EQ(err.path(), path);
+    EXPECT_NE(std::string(err.what()).find(":2:"), std::string::npos);
+  }
+}
+
+TEST_F(DataIoFuzzTest, TextTrailingGarbageRejected) {
+  const auto path = write_file("garbage.txt", "0 0 3.5 surprise\n");
+  EXPECT_THROW((void)load_text(path), ParseError);
+}
+
+TEST_F(DataIoFuzzTest, TextNonFiniteRatingRejected) {
+  for (const char* bad : {"0 0 nan\n", "0 0 inf\n", "0 0 -inf\n"}) {
+    const auto path = write_file("nan.txt", bad);
+    EXPECT_THROW((void)load_text(path), ParseError) << bad;
+  }
+}
+
+TEST_F(DataIoFuzzTest, TextOutOfRangeIdReportsLine) {
+  const auto path = write_file("range.txt", "0 0 1.0\n0 9 1.0\n");
+  try {
+    (void)load_text(path, /*rows=*/4, /*cols=*/4);
+    FAIL() << "out-of-range item id must be rejected";
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 2u);
+  }
+}
+
+TEST_F(DataIoFuzzTest, TextCommentsAndBlanksStillSkipped) {
+  const auto path = write_file("ok.txt", "# header\n\n0 1 2.5\n3 0 1.0\n");
+  const RatingMatrix m = load_text(path);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 2u);
+}
+
+TEST_F(DataIoFuzzTest, BinaryBadMagicRejected) {
+  const auto path = write_file("bad.bin", "NOPE-not-a-matrix");
+  EXPECT_THROW((void)load_binary(path), ParseError);
+}
+
+TEST_F(DataIoFuzzTest, BinaryHeaderNnzMismatchRejectedBeforeAllocation) {
+  RatingMatrix m(4, 4);
+  m.add(0, 0, 1.0f);
+  m.add(1, 2, 2.0f);
+  const std::string path = (dir_ / "claim.bin").string();
+  ASSERT_TRUE(save_binary(m, path));
+  // Inflate the claimed nnz to an absurd value; the loader must reject on
+  // the size check instead of attempting a giant allocation.
+  std::fstream f(path,
+                 std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(4 + 4 + 4);
+  const std::uint64_t absurd = 1ull << 60;
+  f.write(reinterpret_cast<const char*>(&absurd), sizeof absurd);
+  f.close();
+  EXPECT_THROW((void)load_binary(path), ParseError);
+}
+
+TEST_F(DataIoFuzzTest, BinaryTruncatedEntriesRejected) {
+  RatingMatrix m(8, 8);
+  for (std::uint32_t u = 0; u < 8; ++u) m.add(u, u, 1.0f);
+  const std::string path = (dir_ / "torn.bin").string();
+  ASSERT_TRUE(save_binary(m, path));
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+  EXPECT_THROW((void)load_binary(path), ParseError);
+}
+
+TEST_F(DataIoFuzzTest, BinaryOutOfRangeEntryRejected) {
+  RatingMatrix m(4, 4);
+  m.add(3, 3, 1.0f);
+  const std::string path = (dir_ / "oob.bin").string();
+  ASSERT_TRUE(save_binary(m, path));
+  // Shrink the declared dimensions under the stored entry.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(4);
+  const std::uint32_t tiny = 2;
+  f.write(reinterpret_cast<const char*>(&tiny), sizeof tiny);
+  f.close();
+  EXPECT_THROW((void)load_binary(path), ParseError);
+}
+
+TEST_F(DataIoFuzzTest, MovieLensCorruptFieldsRejected) {
+  const auto bad_int =
+      write_file("ml1.csv", "userId,movieId,rating,timestamp\n1,abc,3.5,0\n");
+  EXPECT_THROW((void)load_movielens_csv(bad_int), ParseError);
+  const auto bad_rating =
+      write_file("ml2.csv", "userId,movieId,rating,timestamp\n1,2,wat,0\n");
+  EXPECT_THROW((void)load_movielens_csv(bad_rating), ParseError);
+  const auto nan_rating =
+      write_file("ml3.csv", "userId,movieId,rating,timestamp\n1,2,nan,0\n");
+  EXPECT_THROW((void)load_movielens_csv(nan_rating), ParseError);
+  const auto short_line =
+      write_file("ml4.csv", "userId,movieId,rating,timestamp\n1,2\n");
+  EXPECT_THROW((void)load_movielens_csv(short_line), ParseError);
+}
+
+TEST_F(DataIoFuzzTest, FuzzedBinaryNeverCrashes) {
+  RatingMatrix m(16, 16);
+  util::Rng gen(1234);
+  for (int e = 0; e < 64; ++e) {
+    m.add(static_cast<std::uint32_t>(gen.uniform_u64(16)),
+          static_cast<std::uint32_t>(gen.uniform_u64(16)),
+          static_cast<float>(gen.uniform_u64(5)) + 1.0f);
+  }
+  const std::string clean = (dir_ / "seed.bin").string();
+  ASSERT_TRUE(save_binary(m, clean));
+  std::ifstream in(clean, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  util::Rng rng(0xf22);
+  std::size_t loaded = 0;
+  std::size_t rejected = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = bytes;
+    // Flip 1-4 random bytes anywhere in the file (header or payload).
+    const std::size_t flips = 1 + rng.uniform_u64(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform_u64(mutated.size());
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^
+          static_cast<unsigned char>(1u << rng.uniform_u64(8)));
+    }
+    const std::string path = (dir_ / "fuzz.bin").string();
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << mutated;
+    }
+    try {
+      const RatingMatrix result = load_binary(path);
+      EXPECT_LE(result.nnz(), 64u + 16u);  // sane entry count survives
+      ++loaded;
+    } catch (const std::exception&) {
+      ++rejected;  // clean rejection is the other acceptable outcome
+    }
+  }
+  EXPECT_EQ(loaded + rejected, 200u);
+  EXPECT_GT(rejected, 0u) << "magic/dimension flips must be caught";
+}
+
+TEST_F(DataIoFuzzTest, FuzzedTextNeverCrashes) {
+  std::string body;
+  util::Rng gen(77);
+  for (int line = 0; line < 32; ++line) {
+    body += std::to_string(gen.uniform_u64(8)) + " " +
+            std::to_string(gen.uniform_u64(8)) + " " +
+            std::to_string(1 + gen.uniform_u64(4)) + "\n";
+  }
+  util::Rng rng(0xbeef);
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = body;
+    const std::size_t op = rng.uniform_u64(3);
+    if (op == 0) {
+      mutated.resize(rng.uniform_u64(mutated.size()));  // truncate anywhere
+    } else {
+      const std::size_t pos = rng.uniform_u64(mutated.size());
+      mutated[pos] = static_cast<char>(32 + rng.uniform_u64(95));
+    }
+    const auto path = write_file("fuzz.txt", mutated);
+    try {
+      const RatingMatrix result = load_text(path);
+      EXPECT_LE(result.nnz(), 33u);
+    } catch (const std::exception&) {
+      // rejected cleanly: fine
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcc::data
