@@ -29,7 +29,8 @@ double run(const core::HccMfConfig& config, const sim::DatasetShape& shape) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "ablation");
   const sim::DatasetShape netflix = bench::shape_of(data::netflix_spec());
   const sim::DatasetShape r1star = bench::shape_of(data::yahoo_r1_star_spec());
   const sim::DatasetShape movielens =
@@ -55,6 +56,7 @@ int main() {
       }
       table.add_row(row);
     }
+    json_out.add_table("strategies", table);
     table.print(std::cout);
     std::cout << "shape: Netflix switches DP1->DP2 only at absurd lambda; "
                  "R1* needs DP2 already at the paper's lambda=10\n";
@@ -84,6 +86,7 @@ int main() {
                      util::Table::num(nf_t, 3),
                      util::Table::num(nf_base / nf_t, 2) + "x"});
     }
+    json_out.add_table("streams", table);
     table.print(std::cout);
     std::cout << "shape: streams trade exposed comm against mid-epoch sync "
                  "contention on the server-sharing worker (2 streams can "
@@ -126,6 +129,7 @@ int main() {
       }
       table.add_row(row);
     }
+    json_out.add_table("configs", table);
     table.print(std::cout);
     std::cout << "note: sparse push is ~neutral here — with 4 workers every "
                  "paper dataset is dense enough that each slice touches "
@@ -154,6 +158,7 @@ int main() {
                      util::Table::num(100 * (t_all - t_pruned) / t_all, 1) +
                          "%"});
     }
+    json_out.add_table("pruning", table);
     table.print(std::cout);
     std::cout << "shape: pruning is a no-op on compute-bound sets and pays "
                  "on comm/sync-bound ones\n";
@@ -177,6 +182,7 @@ int main() {
                      util::Table::num(dp1, 3),
                      util::Table::num(100 * (dp0 - dp1) / dp0, 1) + "%"});
     }
+    json_out.add_table("drift", table);
     table.print(std::cout);
     std::cout << "shape: with no drift DP0 is already optimal (Theorem 1); "
                  "the DP1 gain grows with the CPU/GPU drift gap\n";
@@ -215,6 +221,7 @@ int main() {
                      util::Table::num(100 * recovered, 1) + "%",
                      std::to_string(adaptive.repartitions)});
     }
+    json_out.add_table("adaptive", table);
     table.print(std::cout);
     std::cout << "shape: the online proportional rebalance recovers most of "
                  "the imbalance a mid-training slowdown causes\n";

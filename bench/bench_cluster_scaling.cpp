@@ -35,7 +35,8 @@ double run(const std::string& dataset, const sim::DatasetShape& shape,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "cluster_scaling");
   bench::banner("Cluster scaling: hierarchical HCC-MF over N workstations",
                 "extension; Figure 2's architecture scaled out, 20 total epochs");
 
@@ -55,6 +56,7 @@ int main() {
                      util::Table::num(t1 / t4, 2) + "x",
                      util::Table::num(100 * util4, 1) + "%"});
     }
+    json_out.add_table("nodes", table);
     table.print(std::cout);
     std::cout << "shape: compute-bound sets scale close to linearly; the "
                  "dimension-bound sets are gated by the global exchange\n";
@@ -78,6 +80,7 @@ int main() {
                                 4, net, 1),
                             3)});
     }
+    json_out.add_table("network", table);
     table.print(std::cout);
   }
 
@@ -97,6 +100,7 @@ int main() {
                                 cluster::ethernet_10g(), local),
                             3)});
     }
+    json_out.add_table("local_epochs", table);
     table.print(std::cout);
     std::cout << "shape: batching local epochs amortizes the global "
                  "exchange — the future-work lever the paper points at\n";

@@ -18,7 +18,8 @@
 
 using namespace hcc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "effective_range");
   bench::banner(
       "Effective range: HCC-MF speedup vs dataset shape (nnz/(m+n) sweep)",
       "quantifies Section 3.4's nnz/(m+n) < 1e3 rule and Section 4.6");
@@ -66,6 +67,7 @@ int main() {
                    : speedup > 1.1 ? "marginal"
                                    : "not worth it"});
   }
+  json_out.add_table("range", table);
   table.print(std::cout);
 
   std::cout << "\npaper's rule of thumb: below nnz/(m+n) ~ 1e3 the "

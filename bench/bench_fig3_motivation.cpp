@@ -33,7 +33,8 @@ core::HccMfConfig config_for(const sim::PlatformSpec& platform) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "fig3_motivation");
   bench::banner("Figure 3: SGD-based MF on different platforms (Netflix, 20 epochs)",
                 "paper Figure 3a/3b; CPU bar = Xeon 6242, collaborations good & bad");
   const sim::DatasetShape shape = bench::shape_of(data::netflix_spec());
@@ -115,6 +116,7 @@ int main() {
     table.add_row({r.label, util::Table::num(r.seconds, 3), r.kind,
                    util::Table::num(r.price, 0)});
   }
+  json_out.add_table("fig3", table);
   table.print(std::cout);
 
   const double v100 = rows[3].seconds;          // "V100"

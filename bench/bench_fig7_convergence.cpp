@@ -47,6 +47,7 @@ double time_to_reach(const SeriesResult& series, double target_rmse) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "fig7_convergence");
   const util::Cli cli(argc, argv);
   const std::uint64_t target_nnz = cli.get("scale_nnz", std::int64_t{150000});
   const std::uint32_t epochs =
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
                  std::to_string(spec.nnz),
                  util::Table::num(spec.reg_lambda, 2), "0.005"});
     }
+    json_out.add_table("datasets", t);
     t.print(std::cout);
   }
 
@@ -174,6 +176,7 @@ int main(int argc, char** argv) {
                         util::Table::num(series[1].rmse[e], 4),
                         util::Table::num(series[2].rmse[e], 4)});
     }
+    json_out.add_table("by_epoch", by_epoch);
     by_epoch.print(std::cout);
 
     // --- Figure 7 (d-f): RMSE vs (virtual) training time ----------------
@@ -199,6 +202,7 @@ int main(int argc, char** argv) {
                        util::Table::num(t, 3),
                        util::Table::num(t / hcc_time, 2) + "x"});
     }
+    json_out.add_table("by_time", by_time);
     by_time.print(std::cout);
   }
 

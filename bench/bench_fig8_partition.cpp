@@ -44,9 +44,9 @@ StrategyRun run(const sim::PlatformSpec& platform,
   return result;
 }
 
-void compare(const std::string& label, const sim::DatasetShape& shape,
-             std::size_t workers, core::PartitionStrategy a,
-             core::PartitionStrategy b) {
+void compare(bench::JsonReport& json_out, const std::string& label,
+             const sim::DatasetShape& shape, std::size_t workers,
+             core::PartitionStrategy a, core::PartitionStrategy b) {
   sim::PlatformSpec platform = sim::paper_workstation_hetero();
   platform.workers.resize(workers);
 
@@ -68,6 +68,7 @@ void compare(const std::string& label, const sim::DatasetShape& shape,
                      w == 0 ? util::Table::num(result.total, 4) : ""});
     }
   }
+  json_out.add_table("fig8", table);
   table.print(std::cout);
   std::cout << core::partition_strategy_name(b) << " vs "
             << core::partition_strategy_name(a) << ": total cost "
@@ -77,7 +78,8 @@ void compare(const std::string& label, const sim::DatasetShape& shape,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "fig8_partition");
   bench::banner(
       "Figure 8: 20-epoch time statistics under different partition strategies",
       "paper Figure 8 a-f; DP1 beats DP0 on Netflix/R2, DP2 beats DP1 on R1*");
@@ -86,17 +88,17 @@ int main() {
   const auto r2 = bench::shape_of(data::yahoo_r2_spec());
   const auto r1star = bench::shape_of(data::yahoo_r1_star_spec());
 
-  compare("Netflix: DP0 vs DP1", netflix, 3, core::PartitionStrategy::kDp0,
+  compare(json_out, "Netflix: DP0 vs DP1", netflix, 3,
+          core::PartitionStrategy::kDp0, core::PartitionStrategy::kDp1);
+  compare(json_out, "Netflix: DP0 vs DP1", netflix, 4,
+          core::PartitionStrategy::kDp0, core::PartitionStrategy::kDp1);
+  compare(json_out, "R2: DP0 vs DP1", r2, 3, core::PartitionStrategy::kDp0,
           core::PartitionStrategy::kDp1);
-  compare("Netflix: DP0 vs DP1", netflix, 4, core::PartitionStrategy::kDp0,
+  compare(json_out, "R2: DP0 vs DP1", r2, 4, core::PartitionStrategy::kDp0,
           core::PartitionStrategy::kDp1);
-  compare("R2: DP0 vs DP1", r2, 3, core::PartitionStrategy::kDp0,
-          core::PartitionStrategy::kDp1);
-  compare("R2: DP0 vs DP1", r2, 4, core::PartitionStrategy::kDp0,
-          core::PartitionStrategy::kDp1);
-  compare("R1*: DP1 vs DP2", r1star, 3, core::PartitionStrategy::kDp1,
+  compare(json_out, "R1*: DP1 vs DP2", r1star, 3, core::PartitionStrategy::kDp1,
           core::PartitionStrategy::kDp2);
-  compare("R1*: DP1 vs DP2", r1star, 4, core::PartitionStrategy::kDp1,
+  compare(json_out, "R1*: DP1 vs DP2", r1star, 4, core::PartitionStrategy::kDp1,
           core::PartitionStrategy::kDp2);
 
   std::cout << "\npaper's callouts: DP1 -12.2% (Netflix-4w), -10% (R2); "

@@ -14,7 +14,8 @@
 
 using namespace hcc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "fig9_scaling");
   bench::banner("Figure 9: computing power while adding workers in turn",
                 "paper Figure 9 a-d; order 2080S, 6242, 2080, 6242L");
 
@@ -55,6 +56,7 @@ int main() {
            util::Table::num(100 * marginal, 1) + "%"});
       prev_power = report.updates_per_s;
     }
+    json_out.add_table("fig9", table);
     table.print(std::cout);
   }
 

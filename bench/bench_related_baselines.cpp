@@ -19,7 +19,8 @@
 
 using namespace hcc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "related_baselines");
   bench::banner(
       "Related work: every SGD-MF schedule on one problem (functional)",
       "Section 5's solution space; scaled Netflix shape, 10 epochs, k=16");
@@ -90,6 +91,7 @@ int main() {
                                     1),
                    "4 virtual workers, Q-only+FP16"});
   }
+  json_out.add_table("baselines", table);
   table.print(std::cout);
 
   std::cout << "\nshape: every schedule lands in the same RMSE regime; the "

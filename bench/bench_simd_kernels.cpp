@@ -1,0 +1,220 @@
+// SIMD backend baseline: scalar vs dispatched kernels, per ISA.
+//
+// Measures the three hot loops the runtime dispatches through src/simd/ —
+// the SGD update kernel (paper footnote 1: hand-vectorized FPSGD update,
+// 1.8-2.3x), the FP16 wire codec (Section 3.4 Strategy 2: "AVX intrinsics,
+// multi-threaded") and the streaming reductions (dot / sum-of-squares) —
+// on every ISA the host can run, and reports per-kernel throughput plus the
+// speedup over the scalar reference.  `--json-out BENCH_simd.json` persists
+// the numbers as the repo's recorded perf baseline (see docs/simd.md).
+//
+// Flags: --json-out=PATH   machine-readable output (JsonReport format)
+//        --min-time=S      seconds per measurement (default 0.15)
+//        --fp16-n=N        floats per codec batch (default 1<<20)
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "simd/dispatch.hpp"
+#include "util/cli.hpp"
+#include "util/fp16.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace hcc;
+
+namespace {
+
+template <typename T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+/// Calibrating timer: grows the batch until one timed run covers
+/// `min_time` seconds, then returns seconds per iteration.
+template <typename F>
+double time_per_iter(F&& body, double min_time) {
+  using clock = std::chrono::steady_clock;
+  body();  // warmup (page-in, turbo ramp, dispatch resolution)
+  std::size_t iters = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) body();
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    if (dt >= min_time) return dt / static_cast<double>(iters);
+    const double target = min_time * 1.2;
+    const std::size_t grow =
+        dt > 0.0 ? static_cast<std::size_t>(target / dt) + 1 : 8;
+    iters *= (grow < 2 ? 2 : (grow > 16 ? 16 : grow));
+  }
+}
+
+struct Measurement {
+  std::string kernel;
+  std::string isa;
+  std::uint64_t size = 0;     ///< k for SGD/dot, n for codec/reductions
+  double per_iter_s = 0.0;
+  double items_per_s = 0.0;   ///< updates/s or floats/s
+  double gb_per_s = 0.0;      ///< source bytes streamed per second
+  double speedup = 1.0;       ///< scalar per_iter_s / this per_iter_s
+};
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.2, 0.1));
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const double min_time = cli.get("min-time", 0.15);
+  const std::size_t fp16_n =
+      static_cast<std::size_t>(cli.get("fp16-n", std::int64_t{1} << 20));
+  const std::vector<std::uint32_t> sgd_ks{8, 32, 128};
+
+  bench::banner("SIMD kernel baseline: scalar vs dispatched backends",
+                "paper footnote 1 (vectorized FPSGD kernel) + Section 3.4 "
+                "Strategy 2 (FP16 codec)");
+
+  bench::JsonReport report(argc, argv, "simd_kernels");
+  report.meta("active_isa", simd::kernels().name);
+  report.meta("detected_isa", simd::isa_name(simd::detect_best_isa()));
+  report.meta("min_time_s", min_time);
+  report.meta("fp16_n", static_cast<double>(fp16_n));
+
+  std::vector<const simd::KernelTable*> tables;
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kNeon,
+                              simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (const simd::KernelTable* t = simd::kernels_for(isa)) {
+      tables.push_back(t);
+    }
+  }
+
+  std::vector<Measurement> results;
+  // scalar per_iter_s per (kernel, size), the speedup denominator; the
+  // scalar table is always tables.front().
+  std::map<std::pair<std::string, std::uint64_t>, double> scalar_time;
+
+  for (const simd::KernelTable* table : tables) {
+    // --- SGD update, one (p, q) row pair per rank -----------------------
+    for (const std::uint32_t k : sgd_ks) {
+      auto p = random_floats(k, 1);
+      auto q = random_floats(k, 2);
+      Measurement m;
+      m.kernel = "sgd_update";
+      m.isa = table->name;
+      m.size = k;
+      m.per_iter_s = time_per_iter(
+          [&] {
+            do_not_optimize(
+                table->sgd_update(p.data(), q.data(), k, 4.0f, 0.005f,
+                                  0.01f, 0.01f));
+          },
+          min_time);
+      m.items_per_s = 1.0 / m.per_iter_s;
+      // One update streams both rows twice (read + write).
+      m.gb_per_s = 4.0 * k * sizeof(float) / m.per_iter_s / 1e9;
+      results.push_back(m);
+    }
+
+    // --- FP16 codec -----------------------------------------------------
+    {
+      const auto src = random_floats(fp16_n, 3);
+      std::vector<util::Half> halves(fp16_n);
+      std::vector<float> back(fp16_n);
+      Measurement enc;
+      enc.kernel = "fp16_encode";
+      enc.isa = table->name;
+      enc.size = fp16_n;
+      enc.per_iter_s = time_per_iter(
+          [&] {
+            table->fp16_encode(src.data(), halves.data(), fp16_n);
+            do_not_optimize(halves.data());
+          },
+          min_time);
+      enc.items_per_s = fp16_n / enc.per_iter_s;
+      enc.gb_per_s = fp16_n * sizeof(float) / enc.per_iter_s / 1e9;
+      results.push_back(enc);
+
+      Measurement dec;
+      dec.kernel = "fp16_decode";
+      dec.isa = table->name;
+      dec.size = fp16_n;
+      dec.per_iter_s = time_per_iter(
+          [&] {
+            table->fp16_decode(halves.data(), back.data(), fp16_n);
+            do_not_optimize(back.data());
+          },
+          min_time);
+      dec.items_per_s = fp16_n / dec.per_iter_s;
+      dec.gb_per_s = fp16_n * sizeof(util::Half) / dec.per_iter_s / 1e9;
+      results.push_back(dec);
+    }
+
+    // --- Streaming reductions (the RMSE/objective hot loops) ------------
+    {
+      const std::uint32_t n = 1u << 20;
+      const auto a = random_floats(n, 4);
+      const auto b = random_floats(n, 5);
+      Measurement dot;
+      dot.kernel = "dot";
+      dot.isa = table->name;
+      dot.size = n;
+      dot.per_iter_s = time_per_iter(
+          [&] { do_not_optimize(table->dot(a.data(), b.data(), n)); },
+          min_time);
+      dot.items_per_s = static_cast<double>(n) / dot.per_iter_s;
+      dot.gb_per_s = 2.0 * n * sizeof(float) / dot.per_iter_s / 1e9;
+      results.push_back(dot);
+
+      Measurement ssq;
+      ssq.kernel = "sum_squares";
+      ssq.isa = table->name;
+      ssq.size = n;
+      ssq.per_iter_s = time_per_iter(
+          [&] { do_not_optimize(table->sum_squares(a.data(), n)); },
+          min_time);
+      ssq.items_per_s = static_cast<double>(n) / ssq.per_iter_s;
+      ssq.gb_per_s = n * sizeof(float) / ssq.per_iter_s / 1e9;
+      results.push_back(ssq);
+    }
+  }
+
+  for (auto& m : results) {
+    const auto key = std::make_pair(m.kernel, m.size);
+    if (m.isa == "scalar") scalar_time[key] = m.per_iter_s;
+    const auto it = scalar_time.find(key);
+    if (it != scalar_time.end() && m.per_iter_s > 0.0) {
+      m.speedup = it->second / m.per_iter_s;
+    }
+  }
+
+  util::Table table({"kernel", "isa", "size", "items/s", "GB/s",
+                     "speedup vs scalar"});
+  for (const auto& m : results) {
+    table.add_row({m.kernel, m.isa, std::to_string(m.size),
+                   util::Table::num(m.items_per_s, 4),
+                   util::Table::num(m.gb_per_s, 3),
+                   util::Table::num(m.speedup, 2) + "x"});
+    report.add_row(
+        "kernels",
+        {{"kernel", bench::JsonReport::quote(m.kernel)},
+         {"isa", bench::JsonReport::quote(m.isa)},
+         {"size", bench::JsonReport::number(static_cast<double>(m.size))},
+         {"items_per_s", bench::JsonReport::number(m.items_per_s)},
+         {"gb_per_s", bench::JsonReport::number(m.gb_per_s)},
+         {"speedup_vs_scalar", bench::JsonReport::number(m.speedup)}});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreference points: paper footnote 1 reports 1.8-2.3x from "
+               "SSE/AVX/AVX512F on the FPSGD update kernel\n";
+  return 0;
+}

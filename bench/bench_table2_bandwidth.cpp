@@ -10,7 +10,8 @@
 
 using namespace hcc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "table2_bandwidth");
   bench::banner("Table 2: memory bandwidth (GB/s) under IW vs DP0",
                 "paper Table 2; Netflix, workers 6242 / 6242l-10 / 2080 / 2080S");
 
@@ -39,6 +40,7 @@ int main() {
                    util::Table::num(plan.shares[w], 3),
                    "+" + util::Table::num(100 * (dp0 - iw) / iw, 2) + "%"});
   }
+  json_out.add_table("table2", table);
   table.print(std::cout);
 
   std::cout << "\npaper Table 2: 6242 67.30->67.75, 6242l-10 39.32->39.60, "

@@ -11,7 +11,8 @@
 
 using namespace hcc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "table4_power");
   bench::banner(
       "Table 4: computing power of 20-epoch training (updates/s)",
       "paper Table 4; platform 6242-24T + 6242-16T + 2080 + 2080S");
@@ -47,6 +48,7 @@ int main() {
     row.push_back(paper_util);
     table.add_row(row);
   }
+  json_out.add_table("table4", table);
   table.print(std::cout);
   std::cout << "\n(all powers in Mupdates/s; 'paper' = Table 4's measured "
                "utilization)\n";

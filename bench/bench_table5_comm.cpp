@@ -30,7 +30,8 @@ double comm_time(const std::string& dataset, const sim::DatasetShape& shape,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "table5_comm");
   bench::banner("Table 5: communication time of 20 epochs",
                 "paper Table 5; COMM vs COMM-P x {P&Q, Q, half-Q}");
 
@@ -60,6 +61,7 @@ int main() {
       }
       table.add_row(row);
     }
+    json_out.add_table("table5", table);
     table.print(std::cout);
   }
 

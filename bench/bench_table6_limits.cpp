@@ -54,7 +54,8 @@ std::vector<WorkerRow> run(const sim::PlatformSpec& platform,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_out(argc, argv, "table6_limits");
   bench::banner("Table 6: the MovieLens-20m limitation",
                 "paper Table 6; per-20-epoch pull/computing/push, seconds");
 
@@ -84,6 +85,7 @@ int main() {
                               sim::rtx_2080s().epoch_overhead_s);
   table.add_row({"CuMF_SGD", "2080S", "N/A", "N/A", "N/A",
                  util::Table::num(cumf, 3)});
+  json_out.add_table("table6", table);
   table.print(std::cout);
 
   const double gain = (single[0].total - pair[0].total) / single[0].total;

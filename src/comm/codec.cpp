@@ -3,9 +3,27 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "simd/dispatch.hpp"
 #include "util/fp16.hpp"
 
 namespace hcc::comm {
+
+namespace {
+
+/// Codec-level throughput counters (floats through the dispatched FP16
+/// kernels); resolved once — registry lookups lock.
+obs::Counter& encoded_counter() {
+  static obs::Counter& c = obs::registry().counter("simd.fp16_encoded");
+  return c;
+}
+
+obs::Counter& decoded_counter() {
+  static obs::Counter& c = obs::registry().counter("simd.fp16_decoded");
+  return c;
+}
+
+}  // namespace
 
 void Fp32Codec::encode(std::span<const float> src,
                        std::span<std::byte> dst) const {
@@ -19,18 +37,38 @@ void Fp32Codec::decode(std::span<const std::byte> src,
   std::memcpy(dst.data(), src.data(), dst.size() * sizeof(float));
 }
 
+Fp16Codec::Fp16Codec(std::size_t threads)
+    : pool_(threads >= 2 ? std::make_shared<util::ThreadPool>(threads)
+                         : nullptr) {}
+
 void Fp16Codec::encode(std::span<const float> src,
                        std::span<std::byte> dst) const {
   assert(dst.size() >= encoded_bytes(src.size()));
   auto* out = reinterpret_cast<util::Half*>(dst.data());
-  util::fp16_encode(src, std::span<util::Half>(out, src.size()));
+  const auto& kernels = simd::kernels();
+  if (pool_ != nullptr && src.size() >= kParallelThreshold) {
+    pool_->parallel_for(0, src.size(), [&](std::size_t lo, std::size_t hi) {
+      kernels.fp16_encode(src.data() + lo, out + lo, hi - lo);
+    });
+  } else {
+    kernels.fp16_encode(src.data(), out, src.size());
+  }
+  encoded_counter().add(src.size());
 }
 
 void Fp16Codec::decode(std::span<const std::byte> src,
                        std::span<float> dst) const {
   assert(src.size() >= encoded_bytes(dst.size()));
   const auto* in = reinterpret_cast<const util::Half*>(src.data());
-  util::fp16_decode(std::span<const util::Half>(in, dst.size()), dst);
+  const auto& kernels = simd::kernels();
+  if (pool_ != nullptr && dst.size() >= kParallelThreshold) {
+    pool_->parallel_for(0, dst.size(), [&](std::size_t lo, std::size_t hi) {
+      kernels.fp16_decode(in + lo, dst.data() + lo, hi - lo);
+    });
+  } else {
+    kernels.fp16_decode(in, dst.data(), dst.size());
+  }
+  decoded_counter().add(dst.size());
 }
 
 }  // namespace hcc::comm

@@ -3,14 +3,20 @@
 // Strategy 2 of Section 3.4: feature matrices do not need binary32 precision
 // to represent coarse rating scales, so COMM can compress them to binary16
 // on the wire.  Fp32Codec is the pass-through; Fp16Codec halves the wire
-// bytes at the cost of one rounding per value.
+// bytes at the cost of one rounding per value.  The paper implements the
+// conversion "with AVX intrinsics, multi-threaded": Fp16Codec converts
+// through the runtime-dispatched SIMD backend (src/simd/) and can slice
+// large batches across an internal util::ThreadPool.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace hcc::comm {
 
@@ -49,9 +55,16 @@ class Fp32Codec final : public Codec {
 
 /// Binary16 codec (Strategy 2).  Values round to nearest-even; the relative
 /// error bound util::kFp16RelativeError is what the convergence tests check
-/// training tolerates.
+/// training tolerates.  Conversion runs on the dispatched SIMD kernels
+/// (F16C / AVX-512 vcvtps2ph/vcvtph2ps, NEON fcvt, scalar fallback), which
+/// are bit-exact against the scalar codec in util/fp16.hpp.
 class Fp16Codec final : public Codec {
  public:
+  /// `threads` >= 2 spawns an internal pool that slices batches above
+  /// kParallelThreshold floats across that many workers (the paper's
+  /// "multi-threaded" variant); 0 or 1 converts inline on the caller.
+  explicit Fp16Codec(std::size_t threads = 0);
+
   std::size_t encoded_bytes(std::size_t n_floats) const override {
     return n_floats * 2;
   }
@@ -60,6 +73,13 @@ class Fp16Codec final : public Codec {
   void decode(std::span<const std::byte> src,
               std::span<float> dst) const override;
   std::string name() const override { return "fp16"; }
+
+  /// Batches below this many floats always convert inline: the pool's
+  /// wake/join round trip costs more than the conversion itself.
+  static constexpr std::size_t kParallelThreshold = 1u << 15;
+
+ private:
+  std::shared_ptr<util::ThreadPool> pool_;  ///< null = inline conversion
 };
 
 }  // namespace hcc::comm

@@ -52,7 +52,7 @@ sim::CommPlan make_comm_plan(const CommConfig& config,
 }
 
 std::unique_ptr<Codec> make_codec(const CommConfig& config) {
-  if (config.fp16) return std::make_unique<Fp16Codec>();
+  if (config.fp16) return std::make_unique<Fp16Codec>(config.codec_threads);
   return std::make_unique<Fp32Codec>();
 }
 

@@ -22,6 +22,10 @@ enum class BackendKind { kShm, kBroker };
 struct CommConfig {
   bool reduce_payload = true;  ///< Strategy 1: Q-only / P-only
   bool fp16 = true;            ///< Strategy 2: binary16 wire encoding
+  std::uint32_t codec_threads = 0;  ///< Strategy 2's "multi-threaded" AVX
+                                    ///< conversion: >= 2 gives Fp16Codec an
+                                    ///< internal pool that slices large
+                                    ///< batches; 0/1 converts inline
   std::uint32_t streams = 1;   ///< Strategy 3: requested pipeline depth;
                                ///< capped by each device's copy engines
   bool sparse = false;         ///< "Strategy 4" (extension): transfer only

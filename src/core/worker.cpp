@@ -37,6 +37,7 @@ TrainWorker::TrainWorker(std::uint32_t id, std::string device_name,
   hist_compute_ = &reg.histogram(base + "compute_s");
   hist_push_ = &reg.histogram(base + "push_s");
   hist_sync_ = &reg.histogram(base + "sync_s");
+  counter_updates_ = &reg.counter("simd.sgd_updates");
   obs::trace().set_track_name(track_of(id_),
                               "worker " + std::to_string(id_) + " (" +
                                   device_name_ + ")");
@@ -165,8 +166,8 @@ void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
       const auto& e = entries[idx];
       // P row: exclusive to this worker (row grid) -> global in place.
       // Q row: private local copy, merged at push.
-      mf::sgd_update(model.p(e.u), &local_q_[std::size_t(e.i) * k], k, e.r,
-                     lr, reg_p, reg_q);
+      mf::sgd_update_dispatch(model.p(e.u), &local_q_[std::size_t(e.i) * k],
+                              k, e.r, lr, reg_p, reg_q);
     }
   };
   if (pool != nullptr) {
@@ -174,6 +175,7 @@ void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
   } else {
     body(lo, hi);
   }
+  counter_updates_->add(hi - lo);
   last_chunk_ = chunk;
   record_phase(span.stop(), &obs::PhaseTimes::compute_s, hist_compute_);
 

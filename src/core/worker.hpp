@@ -18,6 +18,7 @@
 #include "data/rating_matrix.hpp"
 #include "fault/recovery.hpp"
 #include "obs/drift.hpp"
+#include "util/aligned.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hcc::core {
@@ -139,6 +140,9 @@ class TrainWorker {
   obs::Histogram* hist_compute_ = nullptr;
   obs::Histogram* hist_push_ = nullptr;
   obs::Histogram* hist_sync_ = nullptr;
+  /// Process-wide count of dispatched SGD updates (simd.sgd_updates);
+  /// bumped once per chunk, not per rating.
+  obs::Counter* counter_updates_ = nullptr;
   data::RatingMatrix slice_;
   std::uint32_t streams_;
   bool sparse_ = false;
@@ -149,7 +153,8 @@ class TrainWorker {
   double stall_factor_ = 1.0;
   std::uint32_t last_chunk_ = 0;  ///< chunk index the pending push covers
   std::unique_ptr<comm::CommBackend> backend_;
-  std::vector<float> local_q_;
+  /// 64-byte-aligned: the SGD inner loop streams over these Q rows.
+  util::AlignedFloats local_q_;
   std::vector<float> snapshot_q_;
   std::vector<float> push_staging_;
   std::vector<float> packed_send_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mf/kernels.hpp"
+
 namespace hcc::mf {
 
 void BatchedTrainer::train_epoch(FactorModel& model,
@@ -35,7 +37,8 @@ void BatchedTrainer::train_epoch(FactorModel& model,
     pool_.parallel_for(0, batch.size(), [&](std::size_t lo, std::size_t hi) {
       for (std::size_t idx = lo; idx < hi; ++idx) {
         const auto& e = batch[idx];
-        sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p, reg_q);
+        sgd_update_dispatch(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p,
+                            reg_q);
       }
     });
   }

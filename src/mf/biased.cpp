@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "mf/kernels.hpp"
+
 namespace hcc::mf {
 
 BiasedModel::BiasedModel(std::uint32_t users, std::uint32_t items,
@@ -36,8 +38,8 @@ float biased_sgd_update(BiasedModel& model, std::uint32_t u, std::uint32_t i,
   float& bi = model.item_bias(i);
   bu += lr * (err - reg_bias * bu);
   bi += lr * (err - reg_bias * bi);
-  sgd_update_with_error(model.p(u), model.q(i), model.k(), err, lr,
-                        reg_factor, reg_factor);
+  sgd_update_with_error_dispatch(model.p(u), model.q(i), model.k(), err, lr,
+                                 reg_factor, reg_factor);
   return err;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <future>
 
+#include "mf/kernels.hpp"
+
 namespace hcc::mf {
 
 DsgdTrainer::DsgdTrainer(const SgdConfig& config, util::ThreadPool& pool,
@@ -46,7 +48,8 @@ void DsgdTrainer::train_epoch(FactorModel& model,
       if (block.empty()) continue;
       pending.push_back(pool_.submit([&model, &block, k, lr, reg_p, reg_q] {
         for (const auto& e : block) {
-          sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p, reg_q);
+          sgd_update_dispatch(model.p(e.u), model.q(e.i), k, e.r, lr,
+                              reg_p, reg_q);
         }
       }));
     }

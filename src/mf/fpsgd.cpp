@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "mf/kernels.hpp"
+
 namespace hcc::mf {
 
 FpsgdTrainer::FpsgdTrainer(const SgdConfig& config, std::uint32_t threads)
@@ -101,7 +103,8 @@ void FpsgdTrainer::train_epoch(FactorModel& model,
       const std::uint32_t block = acquire();
       if (block == nb * nb) return;
       for (const auto& e : blocks_[block]) {
-        sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p, reg_q);
+        sgd_update_dispatch(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p,
+                            reg_q);
       }
       release(block);
     }

@@ -1,5 +1,7 @@
 #include "mf/hogwild.hpp"
 
+#include "mf/kernels.hpp"
+
 namespace hcc::mf {
 
 void HogwildTrainer::train_epoch(FactorModel& model,
@@ -14,7 +16,7 @@ void HogwildTrainer::train_epoch(FactorModel& model,
   pool_.parallel_for(0, entries.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t idx = lo; idx < hi; ++idx) {
       const auto& e = entries[idx];
-      sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p, reg_q);
+      sgd_update_dispatch(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p, reg_q);
     }
   });
   decay_lr();

@@ -1,12 +1,14 @@
 // SGD update kernel variants.
 //
 // The paper's footnote 1 describes hand-vectorizing FPSGD's update kernel
-// (SSE/AVX/AVX512F) for a 1.8-2.3x speedup.  We provide portable
-// equivalents: the canonical scalar kernel (model.hpp's sgd_update), a
-// 4-wide manually unrolled variant that exposes independent dependency
-// chains to the vectorizer, and a runtime dispatcher that picks by k.
-// All variants compute the same recurrence; floating-point results can
-// differ only by reassociation (tests bound the divergence).
+// (SSE/AVX/AVX512F) for a 1.8-2.3x speedup.  sgd_update_dispatch delivers
+// that through the runtime-dispatched SIMD backend (src/simd/): one
+// cpuid-resolved kernel table (AVX2+FMA, AVX-512F, NEON, scalar fallback)
+// whose kernels handle every rank k, remainder tails included.  The 4-wide
+// manually unrolled variant remains as the portable auto-vectorization
+// baseline the benchmarks compare against.  All variants compute the same
+// recurrence; floating-point results can differ only by reassociation
+// (tests bound the divergence).
 #pragma once
 
 #include <cmath>
@@ -15,18 +17,19 @@
 #include <span>
 
 #include "mf/model.hpp"
+#include "simd/dispatch.hpp"
 
 namespace hcc::mf {
 
 /// Divergence guard for the ASGD inner loop: true iff every value is
 /// finite.  A single exploding sgd_update poisons its whole Q row within
 /// one epoch, so a post-chunk scan is enough to catch runaway learning
-/// rates before the next push spreads them.  Branch-free accumulation so
-/// the scan vectorizes.
+/// rates before the next push spreads them.  The SIMD backend tests the
+/// exponent bits as integers, which both vectorizes and stays correct under
+/// -ffast-math-style flags (an `x * 0 == 0` probe would not: the compiler
+/// may assume no NaN/Inf exist and fold the scan away).
 inline bool all_finite(std::span<const float> values) noexcept {
-  float acc = 0.0f;
-  for (const float v : values) acc += v * 0.0f;
-  return acc == 0.0f;  // any NaN/Inf makes acc NaN
+  return simd::kernels().all_finite(values.data(), values.size());
 }
 
 /// Dot product, 4-wide unrolled (k % 4 == 0 required).
@@ -62,14 +65,22 @@ inline float sgd_update_x4(float* p, float* q, std::uint32_t k, float r,
   return err;
 }
 
-/// Runtime dispatch: the unrolled kernel when k permits, scalar otherwise.
+/// One SGD step through the runtime-dispatched SIMD backend.  Every k takes
+/// the ISA fast path (vector body + scalar remainder tail); there is no
+/// divisibility gate any more.
 inline float sgd_update_dispatch(float* p, float* q, std::uint32_t k, float r,
                                  float lr, float reg_p,
                                  float reg_q) noexcept {
-  if (k % 4 == 0 && k >= 8) {
-    return sgd_update_x4(p, q, k, r, lr, reg_p, reg_q);
-  }
-  return sgd_update(p, q, k, r, lr, reg_p, reg_q);
+  return simd::kernels().sgd_update(p, q, k, r, lr, reg_p, reg_q);
+}
+
+/// Dispatched counterpart of sgd_update_with_error (see model.hpp): the
+/// factor-update half with a caller-supplied error, for biased models.
+inline void sgd_update_with_error_dispatch(float* p, float* q,
+                                           std::uint32_t k, float err,
+                                           float lr, float reg_p,
+                                           float reg_q) noexcept {
+  simd::kernels().sgd_update_with_error(p, q, k, err, lr, reg_p, reg_q);
 }
 
 }  // namespace hcc::mf

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "simd/dispatch.hpp"
+
 namespace hcc::mf {
 
 double rmse(const FactorModel& model, const data::RatingMatrix& ratings) {
@@ -42,10 +44,11 @@ double objective(const FactorModel& model, const data::RatingMatrix& ratings,
     const double err = static_cast<double>(e.r) - model.predict(e.u, e.i);
     loss += err * err;
   }
-  double p_norm = 0.0;
-  for (float v : model.p_data()) p_norm += static_cast<double>(v) * v;
-  double q_norm = 0.0;
-  for (float v : model.q_data()) q_norm += static_cast<double>(v) * v;
+  const auto& kernels = simd::kernels();
+  const double p_norm =
+      kernels.sum_squares(model.p_data().data(), model.p_data().size());
+  const double q_norm =
+      kernels.sum_squares(model.q_data().data(), model.q_data().size());
   return loss + reg_p * p_norm + reg_q * q_norm;
 }
 

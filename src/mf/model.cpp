@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "simd/dispatch.hpp"
+
 namespace hcc::mf {
 
 FactorModel::FactorModel(std::uint32_t users, std::uint32_t items,
@@ -19,11 +21,7 @@ void FactorModel::init_random(util::Rng& rng, float mean_rating) {
 }
 
 float FactorModel::predict(std::uint32_t u, std::uint32_t i) const noexcept {
-  const float* pu = p(u);
-  const float* qi = q(i);
-  float dot = 0.0f;
-  for (std::uint32_t f = 0; f < k_; ++f) dot += pu[f] * qi[f];
-  return dot;
+  return simd::kernels().dot(p(u), q(i), k_);
 }
 
 }  // namespace hcc::mf

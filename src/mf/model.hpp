@@ -3,13 +3,15 @@
 // P is m x k (one row of k latent features per user), Q is n x k (one row
 // per item; note the paper writes Q as k x n — we store it item-major so an
 // item's features are contiguous, which is what the SGD kernel touches).
+// Both matrices live in 64-byte-aligned storage so the dispatched SIMD
+// kernels (src/simd/) get cache-line-aligned rows whenever k % 16 == 0.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "data/rating_matrix.hpp"
+#include "util/aligned.hpp"
 #include "util/rng.hpp"
 
 namespace hcc::mf {
@@ -51,8 +53,8 @@ class FactorModel {
   std::uint32_t users_ = 0;
   std::uint32_t items_ = 0;
   std::uint32_t k_ = 0;
-  std::vector<float> p_;
-  std::vector<float> q_;
+  util::AlignedFloats p_;
+  util::AlignedFloats q_;
 };
 
 /// Hyper-parameters of one SGD-based MF training run.

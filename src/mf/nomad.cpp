@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "mf/kernels.hpp"
+
 namespace hcc::mf {
 
 NomadTrainer::NomadTrainer(const SgdConfig& config, std::uint32_t workers)
@@ -75,7 +77,8 @@ void NomadTrainer::train_epoch(FactorModel& model,
       // Exclusive Q-row access by ownership: only this worker may touch
       // q(item) while holding its token.  P rows are block-exclusive.
       for (const auto& e : entries_of_[w][token.item]) {
-        sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p, reg_q);
+        sgd_update_dispatch(model.p(e.u), model.q(e.i), k, e.r, lr, reg_p,
+                            reg_q);
       }
       if (--token.hops_left == 0) {
         live_tokens.fetch_sub(1, std::memory_order_release);

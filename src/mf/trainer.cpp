@@ -1,5 +1,6 @@
 #include "mf/trainer.hpp"
 
+#include "mf/kernels.hpp"
 #include "mf/metrics.hpp"
 
 namespace hcc::mf {
@@ -8,8 +9,8 @@ void SerialSgd::train_epoch(FactorModel& model,
                             const data::RatingMatrix& ratings) {
   const std::uint32_t k = model.k();
   for (const auto& e : ratings.entries()) {
-    sgd_update(model.p(e.u), model.q(e.i), k, e.r, lr_, config_.reg_p,
-               config_.reg_q);
+    sgd_update_dispatch(model.p(e.u), model.q(e.i), k, e.r, lr_,
+                        config_.reg_p, config_.reg_q);
   }
   decay_lr();
 }

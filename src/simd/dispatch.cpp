@@ -1,0 +1,158 @@
+#include "simd/dispatch.hpp"
+
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace hcc::simd {
+
+// Per-ISA table getters, each defined in its own translation unit compiled
+// with that ISA's flags.  CMake defines HCCMF_SIMD_HAS_* for exactly the
+// units it compiled in (see src/simd/CMakeLists.txt).
+const KernelTable& scalar_kernels() noexcept;
+#if defined(HCCMF_SIMD_HAS_AVX2)
+const KernelTable& avx2_kernels() noexcept;
+#endif
+#if defined(HCCMF_SIMD_HAS_AVX512)
+const KernelTable& avx512_kernels() noexcept;
+#endif
+#if defined(HCCMF_SIMD_HAS_NEON)
+const KernelTable& neon_kernels() noexcept;
+#endif
+
+namespace {
+
+/// True iff the running CPU can execute `isa` (ignores what was compiled
+/// in).  On GCC/Clang x86 the cpu_supports builtins also verify the OS has
+/// enabled the corresponding register state (XGETBV), so a positive answer
+/// means the instructions are actually usable.
+bool cpu_supports(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is ARMv8-A baseline
+#else
+      return false;
+#endif
+    case Isa::kAvx2:
+    case Isa::kAvx512:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      __builtin_cpu_init();
+      if (isa == Isa::kAvx2) {
+        return __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma") &&
+               __builtin_cpu_supports("f16c");
+      }
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("fma") && __builtin_cpu_supports("f16c");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kNeon: return "neon";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+const KernelTable* kernels_for(Isa isa) noexcept {
+  if (!cpu_supports(isa)) return nullptr;
+  switch (isa) {
+    case Isa::kScalar:
+      return &scalar_kernels();
+    case Isa::kNeon:
+#if defined(HCCMF_SIMD_HAS_NEON)
+      return &neon_kernels();
+#else
+      return nullptr;
+#endif
+    case Isa::kAvx2:
+#if defined(HCCMF_SIMD_HAS_AVX2)
+      return &avx2_kernels();
+#else
+      return nullptr;
+#endif
+    case Isa::kAvx512:
+#if defined(HCCMF_SIMD_HAS_AVX512)
+      return &avx512_kernels();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool isa_available(Isa isa) noexcept { return kernels_for(isa) != nullptr; }
+
+Isa detect_best_isa() noexcept {
+  for (const Isa isa : {Isa::kAvx512, Isa::kAvx2, Isa::kNeon}) {
+    if (isa_available(isa)) return isa;
+  }
+  return Isa::kScalar;
+}
+
+bool parse_isa(std::string_view name, Isa& out) noexcept {
+  for (const Isa isa :
+       {Isa::kScalar, Isa::kNeon, Isa::kAvx2, Isa::kAvx512}) {
+    if (name == isa_name(isa)) {
+      out = isa;
+      return true;
+    }
+  }
+  return false;
+}
+
+Isa resolve_isa(const char* env_value) noexcept {
+  if (env_value != nullptr && *env_value != '\0') {
+    Isa requested = Isa::kScalar;
+    if (!parse_isa(env_value, requested)) {
+      util::log_kv(util::LogLevel::kWarn, "simd.dispatch.bad_override",
+                   {util::kv("requested", env_value),
+                    util::kv("fallback", isa_name(detect_best_isa()))});
+    } else if (!isa_available(requested)) {
+      util::log_kv(util::LogLevel::kWarn, "simd.dispatch.unavailable",
+                   {util::kv("requested", env_value),
+                    util::kv("fallback", isa_name(detect_best_isa()))});
+    } else {
+      return requested;
+    }
+  }
+  return detect_best_isa();
+}
+
+const KernelTable& kernels() noexcept {
+  static const KernelTable* const resolved = []() noexcept {
+    const Isa isa = resolve_isa(std::getenv("HCCMF_SIMD"));
+    const KernelTable* table = kernels_for(isa);
+    if (table == nullptr) table = &scalar_kernels();
+    // Report the resolved backend; never let observability failures take
+    // down dispatch (kernels() is on noexcept hot paths).
+    try {
+      obs::registry().gauge("simd.isa").set(
+          static_cast<double>(static_cast<int>(table->isa)));
+      util::log_kv(util::LogLevel::kInfo, "simd.dispatch",
+                   {util::kv("isa", table->name),
+                    util::kv("detected", isa_name(detect_best_isa()))});
+    } catch (...) {
+    }
+    return table;
+  }();
+  return *resolved;
+}
+
+Isa active_isa() noexcept { return kernels().isa; }
+
+}  // namespace hcc::simd

@@ -1,0 +1,48 @@
+// Runtime CPU-feature dispatch for the SIMD kernel tables.
+//
+// Resolution happens once, on the first call to kernels():
+//   1. If the HCCMF_SIMD environment variable names an ISA
+//      (scalar|avx2|avx512|neon) and that ISA is available on this host and
+//      in this binary, it wins — this is how CI pins a deterministic
+//      backend and how benchmarks compare backends.
+//   2. Otherwise the best ISA the CPU supports among those compiled in is
+//      chosen (cpuid on x86-64, baseline NEON on aarch64, scalar anywhere).
+// An unavailable override logs a warning and falls back to auto-detection;
+// the resolved backend is reported through the obs gauge `simd.isa` and an
+// info-level `simd.dispatch` log line.
+#pragma once
+
+#include <string_view>
+
+#include "simd/kernel_table.hpp"
+
+namespace hcc::simd {
+
+/// True iff this binary contains a kernel table for `isa` AND the running
+/// CPU can execute it.  Scalar is always available.
+bool isa_available(Isa isa) noexcept;
+
+/// The kernel table for a specific ISA, or nullptr when !isa_available(isa).
+/// Benchmarks iterate this to compare backends on one host.
+const KernelTable* kernels_for(Isa isa) noexcept;
+
+/// Best available ISA by cpuid (ignores HCCMF_SIMD).
+Isa detect_best_isa() noexcept;
+
+/// Parses an ISA name ("scalar", "avx2", "avx512", "neon"; case-sensitive).
+/// Returns false on unknown names, leaving `out` untouched.
+bool parse_isa(std::string_view name, Isa& out) noexcept;
+
+/// The resolution rule, exposed for tests: `env_value` plays the role of
+/// getenv("HCCMF_SIMD") (nullptr/empty = no override).  Unknown or
+/// unavailable requests fall back to detect_best_isa().
+Isa resolve_isa(const char* env_value) noexcept;
+
+/// The process-wide resolved table (see file comment for the rule).
+/// The first call resolves and caches; subsequent calls are a load.
+const KernelTable& kernels() noexcept;
+
+/// The ISA kernels() resolved to.
+Isa active_isa() noexcept;
+
+}  // namespace hcc::simd

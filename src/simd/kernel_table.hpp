@@ -1,0 +1,78 @@
+// The per-ISA kernel table: one function pointer per hot loop.
+//
+// The paper's CPU-side numbers come from hand-vectorized kernels (footnote 1:
+// SSE/AVX/AVX512F vectorization of the FPSGD update kernel, 1.8-2.3x; Section
+// 3.4's FP16 wire codec "with AVX intrinsics").  Each supported ISA provides
+// one KernelTable, compiled in its own translation unit with per-file target
+// flags so the rest of the binary stays portable; simd::kernels() resolves
+// the best table once at startup (see dispatch.hpp).
+//
+// Contract for every entry:
+//  - identical semantics to the scalar reference up to floating-point
+//    reassociation (tests bound the divergence in ULPs), except the FP16
+//    codec entries, which must match the scalar codec in util/fp16.hpp
+//    BIT-EXACTLY (round-to-nearest-even, gradual underflow, overflow to
+//    +/-inf, NaN payload top bits preserved, quiet bit forced);
+//  - no alignment requirement on any pointer (unaligned loads/stores);
+//  - remainder tails handled internally: every length n / rank k is legal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/fp16.hpp"
+
+namespace hcc::simd {
+
+/// Instruction-set architectures a kernel table can target, ordered by
+/// preference within their platform.  The numeric values are stable: the
+/// obs gauge `simd.isa` reports them (0=scalar, 1=neon, 2=avx2, 3=avx512).
+enum class Isa : int {
+  kScalar = 0,
+  kNeon = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// Lower-case stable name ("scalar", "neon", "avx2", "avx512").
+const char* isa_name(Isa isa) noexcept;
+
+/// One resolved backend: every hot loop the library dispatches.
+struct KernelTable {
+  Isa isa = Isa::kScalar;
+  /// Same string as isa_name(isa); kept in the table so call sites can
+  /// report the backend without another lookup.
+  const char* name = "scalar";
+
+  /// dot(a, b) over k floats.
+  float (*dot)(const float* a, const float* b, std::uint32_t k) noexcept =
+      nullptr;
+
+  /// One SGD step (the Figure 1 recurrence; see mf::sgd_update).  Returns
+  /// the pre-update error r - <p, q>.
+  float (*sgd_update)(float* p, float* q, std::uint32_t k, float r, float lr,
+                      float reg_p, float reg_q) noexcept = nullptr;
+
+  /// The factor-update half with a caller-supplied error (biased models).
+  void (*sgd_update_with_error)(float* p, float* q, std::uint32_t k,
+                                float err, float lr, float reg_p,
+                                float reg_q) noexcept = nullptr;
+
+  /// sum(v[i]^2) accumulated in double (objective's regularizer norms).
+  double (*sum_squares)(const float* v, std::size_t n) noexcept = nullptr;
+
+  /// True iff every value is finite.  Implemented with integer exponent
+  /// tests, so it stays correct under -ffast-math-style flags (a NaN/Inf
+  /// arithmetic trick would be UB-adjacent there).
+  bool (*all_finite)(const float* v, std::size_t n) noexcept = nullptr;
+
+  /// Batch binary32 -> binary16, bit-exact vs util::float_to_fp16.
+  void (*fp16_encode)(const float* src, util::Half* dst,
+                      std::size_t n) noexcept = nullptr;
+
+  /// Batch binary16 -> binary32, bit-exact vs util::fp16_to_float.
+  void (*fp16_decode)(const util::Half* src, float* dst,
+                      std::size_t n) noexcept = nullptr;
+};
+
+}  // namespace hcc::simd

@@ -1,0 +1,154 @@
+// AVX2 + FMA + F16C kernel table (8-wide float lanes).
+//
+// Compiled with per-file flags (-mavx2 -mfma -mf16c -ffp-contract=off); the
+// dispatcher only hands this table out after cpuid confirms all three
+// features, so the intrinsics below are always legal when reached.  All
+// loads/stores are unaligned-safe; remainder tails fall through to the
+// scalar reference implementations.
+#include "simd/kernel_table.hpp"
+#include "simd/scalar_impl.hpp"
+
+#if !defined(__AVX2__) || !defined(__FMA__) || !defined(__F16C__)
+#error "kernels_avx2.cpp must be compiled with -mavx2 -mfma -mf16c"
+#endif
+
+#include <immintrin.h>
+
+namespace hcc::simd {
+namespace {
+
+inline float hsum256(__m256 v) noexcept {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+inline double hsum256d(__m256d v) noexcept {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  lo = _mm_add_sd(lo, _mm_unpackhi_pd(lo, lo));
+  return _mm_cvtsd_f64(lo);
+}
+
+float dot_avx2(const float* a, const float* b, std::uint32_t k) noexcept {
+  // Two independent accumulator chains hide the 4-5 cycle FMA latency.
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::uint32_t f = 0;
+  for (; f + 16 <= k; f += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + f), _mm256_loadu_ps(b + f),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + f + 8),
+                           _mm256_loadu_ps(b + f + 8), acc1);
+  }
+  if (f + 8 <= k) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + f), _mm256_loadu_ps(b + f),
+                           acc0);
+    f += 8;
+  }
+  float dot = hsum256(_mm256_add_ps(acc0, acc1));
+  for (; f < k; ++f) dot += a[f] * b[f];
+  return dot;
+}
+
+void sgd_apply_avx2(float* p, float* q, std::uint32_t k, float err, float lr,
+                    float reg_p, float reg_q) noexcept {
+  const __m256 verr = _mm256_set1_ps(err);
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 vreg_p = _mm256_set1_ps(reg_p);
+  const __m256 vreg_q = _mm256_set1_ps(reg_q);
+  std::uint32_t f = 0;
+  for (; f + 8 <= k; f += 8) {
+    const __m256 vp = _mm256_loadu_ps(p + f);
+    const __m256 vq = _mm256_loadu_ps(q + f);
+    // g_p = err*q - reg_p*p ; g_q = err*p_old - reg_q*q
+    const __m256 gp = _mm256_fnmadd_ps(vreg_p, vp, _mm256_mul_ps(verr, vq));
+    const __m256 gq = _mm256_fnmadd_ps(vreg_q, vq, _mm256_mul_ps(verr, vp));
+    _mm256_storeu_ps(p + f, _mm256_fmadd_ps(vlr, gp, vp));
+    _mm256_storeu_ps(q + f, _mm256_fmadd_ps(vlr, gq, vq));
+  }
+  if (f < k) detail::scalar_sgd_apply(p + f, q + f, k - f, err, lr, reg_p,
+                                      reg_q);
+}
+
+float sgd_update_avx2(float* p, float* q, std::uint32_t k, float r, float lr,
+                      float reg_p, float reg_q) noexcept {
+  const float err = r - dot_avx2(p, q, k);
+  sgd_apply_avx2(p, q, k, err, lr, reg_p, reg_q);
+  return err;
+}
+
+double sum_squares_avx2(const float* v, std::size_t n) noexcept {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_cvtps_pd(_mm_loadu_ps(v + i));
+    const __m256d d1 = _mm256_cvtps_pd(_mm_loadu_ps(v + i + 4));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  double sum = hsum256d(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) sum += static_cast<double>(v[i]) * v[i];
+  return sum;
+}
+
+bool all_finite_avx2(const float* v, std::size_t n) noexcept {
+  const __m256i exp_mask = _mm256_set1_epi32(0x7f80'0000);
+  __m256i bad = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i bits =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i exp = _mm256_and_si256(bits, exp_mask);
+    bad = _mm256_or_si256(bad, _mm256_cmpeq_epi32(exp, exp_mask));
+  }
+  if (!_mm256_testz_si256(bad, bad)) return false;
+  return detail::scalar_all_finite(v + i, n - i);
+}
+
+void fp16_encode_avx2(const float* src, util::Half* dst,
+                      std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(src + i);
+    const __m128i h =
+        _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  if (i < n) detail::scalar_fp16_encode(src + i, dst + i, n - i);
+}
+
+void fp16_decode_avx2(const util::Half* src, float* dst,
+                      std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  if (i < n) detail::scalar_fp16_decode(src + i, dst + i, n - i);
+}
+
+}  // namespace
+
+const KernelTable& avx2_kernels() noexcept {
+  static const KernelTable table{
+      Isa::kAvx2,
+      "avx2",
+      dot_avx2,
+      sgd_update_avx2,
+      sgd_apply_avx2,
+      sum_squares_avx2,
+      all_finite_avx2,
+      fp16_encode_avx2,
+      fp16_decode_avx2,
+  };
+  return table;
+}
+
+}  // namespace hcc::simd

@@ -1,0 +1,135 @@
+// AVX-512F kernel table (16-wide float lanes).
+//
+// Uses only the F subset (plus FMA/F16C for tails and conversions) so any
+// AVX-512 capable core can run it; vcvtps2ph/vcvtph2ps on zmm registers are
+// AVX-512F encodings, covering the paper's footnote-1 "AVX512F" variant
+// without the FP16-arithmetic extension.  Compiled with per-file flags
+// (-mavx512f -mfma -mf16c -ffp-contract=off); dispatched only after cpuid.
+#include "simd/kernel_table.hpp"
+#include "simd/scalar_impl.hpp"
+
+#if !defined(__AVX512F__) || !defined(__FMA__) || !defined(__F16C__)
+#error "kernels_avx512.cpp must be compiled with -mavx512f -mfma -mf16c"
+#endif
+
+#include <immintrin.h>
+
+namespace hcc::simd {
+namespace {
+
+float dot_avx512(const float* a, const float* b, std::uint32_t k) noexcept {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  std::uint32_t f = 0;
+  for (; f + 32 <= k; f += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + f), _mm512_loadu_ps(b + f),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + f + 16),
+                           _mm512_loadu_ps(b + f + 16), acc1);
+  }
+  if (f + 16 <= k) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + f), _mm512_loadu_ps(b + f),
+                           acc0);
+    f += 16;
+  }
+  float dot = _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+  for (; f < k; ++f) dot += a[f] * b[f];
+  return dot;
+}
+
+void sgd_apply_avx512(float* p, float* q, std::uint32_t k, float err,
+                      float lr, float reg_p, float reg_q) noexcept {
+  std::uint32_t f = 0;
+  if (k >= 16) {  // broadcasts stay behind the gate: no zmm work for tiny k
+    const __m512 verr = _mm512_set1_ps(err);
+    const __m512 vlr = _mm512_set1_ps(lr);
+    const __m512 vreg_p = _mm512_set1_ps(reg_p);
+    const __m512 vreg_q = _mm512_set1_ps(reg_q);
+    for (; f + 16 <= k; f += 16) {
+      const __m512 vp = _mm512_loadu_ps(p + f);
+      const __m512 vq = _mm512_loadu_ps(q + f);
+      const __m512 gp = _mm512_fnmadd_ps(vreg_p, vp, _mm512_mul_ps(verr, vq));
+      const __m512 gq = _mm512_fnmadd_ps(vreg_q, vq, _mm512_mul_ps(verr, vp));
+      _mm512_storeu_ps(p + f, _mm512_fmadd_ps(vlr, gp, vp));
+      _mm512_storeu_ps(q + f, _mm512_fmadd_ps(vlr, gq, vq));
+    }
+  }
+  if (f < k) detail::scalar_sgd_apply(p + f, q + f, k - f, err, lr, reg_p,
+                                      reg_q);
+}
+
+float sgd_update_avx512(float* p, float* q, std::uint32_t k, float r,
+                        float lr, float reg_p, float reg_q) noexcept {
+  const float err = r - dot_avx512(p, q, k);
+  sgd_apply_avx512(p, q, k, err, lr, reg_p, reg_q);
+  return err;
+}
+
+double sum_squares_avx512(const float* v, std::size_t n) noexcept {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512d d0 = _mm512_cvtps_pd(_mm256_loadu_ps(v + i));
+    const __m512d d1 = _mm512_cvtps_pd(_mm256_loadu_ps(v + i + 8));
+    acc0 = _mm512_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm512_fmadd_pd(d1, d1, acc1);
+  }
+  double sum = _mm512_reduce_add_pd(_mm512_add_pd(acc0, acc1));
+  for (; i < n; ++i) sum += static_cast<double>(v[i]) * v[i];
+  return sum;
+}
+
+bool all_finite_avx512(const float* v, std::size_t n) noexcept {
+  const __m512i exp_mask = _mm512_set1_epi32(0x7f80'0000);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i bits = _mm512_loadu_si512(v + i);
+    const __mmask16 bad = _mm512_cmpeq_epi32_mask(
+        _mm512_and_si512(bits, exp_mask), exp_mask);
+    if (bad != 0) return false;
+  }
+  return detail::scalar_all_finite(v + i, n - i);
+}
+
+void fp16_encode_avx512(const float* src, util::Half* dst,
+                        std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_loadu_ps(src + i);
+    const __m256i h =
+        _mm512_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), h);
+  }
+  if (i < n) detail::scalar_fp16_encode(src + i, dst + i, n - i);
+}
+
+void fp16_decode_avx512(const util::Half* src, float* dst,
+                        std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm512_storeu_ps(dst + i, _mm512_cvtph_ps(h));
+  }
+  if (i < n) detail::scalar_fp16_decode(src + i, dst + i, n - i);
+}
+
+}  // namespace
+
+const KernelTable& avx512_kernels() noexcept {
+  static const KernelTable table{
+      Isa::kAvx512,
+      "avx512",
+      dot_avx512,
+      sgd_update_avx512,
+      sgd_apply_avx512,
+      sum_squares_avx512,
+      all_finite_avx512,
+      fp16_encode_avx512,
+      fp16_decode_avx512,
+  };
+  return table;
+}
+
+}  // namespace hcc::simd

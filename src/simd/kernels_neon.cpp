@@ -1,0 +1,132 @@
+// NEON (aarch64) kernel table (4-wide float lanes).
+//
+// NEON and the binary16 conversion instructions are ARMv8-A baseline, so no
+// per-file -m flags are needed beyond -ffp-contract=off for the scalar
+// tails; the dispatcher offers this table on any aarch64 build.  The fcvt
+// conversions honor the default FPCR state (round-to-nearest-even, gradual
+// underflow, NaN payloads propagated), matching the scalar codec bit-exactly
+// as long as the process leaves FPCR alone.
+#include "simd/kernel_table.hpp"
+#include "simd/scalar_impl.hpp"
+
+#if !defined(__aarch64__)
+#error "kernels_neon.cpp must only be compiled for aarch64 targets"
+#endif
+
+#include <arm_neon.h>
+
+namespace hcc::simd {
+namespace {
+
+float dot_neon(const float* a, const float* b, std::uint32_t k) noexcept {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  std::uint32_t f = 0;
+  for (; f + 8 <= k; f += 8) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + f), vld1q_f32(b + f));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + f + 4), vld1q_f32(b + f + 4));
+  }
+  if (f + 4 <= k) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + f), vld1q_f32(b + f));
+    f += 4;
+  }
+  float dot = vaddvq_f32(vaddq_f32(acc0, acc1));
+  for (; f < k; ++f) dot += a[f] * b[f];
+  return dot;
+}
+
+void sgd_apply_neon(float* p, float* q, std::uint32_t k, float err, float lr,
+                    float reg_p, float reg_q) noexcept {
+  const float32x4_t verr = vdupq_n_f32(err);
+  const float32x4_t vlr = vdupq_n_f32(lr);
+  const float32x4_t vreg_p = vdupq_n_f32(reg_p);
+  const float32x4_t vreg_q = vdupq_n_f32(reg_q);
+  std::uint32_t f = 0;
+  for (; f + 4 <= k; f += 4) {
+    const float32x4_t vp = vld1q_f32(p + f);
+    const float32x4_t vq = vld1q_f32(q + f);
+    // g_p = err*q - reg_p*p ; g_q = err*p_old - reg_q*q
+    const float32x4_t gp = vfmsq_f32(vmulq_f32(verr, vq), vreg_p, vp);
+    const float32x4_t gq = vfmsq_f32(vmulq_f32(verr, vp), vreg_q, vq);
+    vst1q_f32(p + f, vfmaq_f32(vp, vlr, gp));
+    vst1q_f32(q + f, vfmaq_f32(vq, vlr, gq));
+  }
+  if (f < k) detail::scalar_sgd_apply(p + f, q + f, k - f, err, lr, reg_p,
+                                      reg_q);
+}
+
+float sgd_update_neon(float* p, float* q, std::uint32_t k, float r, float lr,
+                      float reg_p, float reg_q) noexcept {
+  const float err = r - dot_neon(p, q, k);
+  sgd_apply_neon(p, q, k, err, lr, reg_p, reg_q);
+  return err;
+}
+
+double sum_squares_neon(const float* v, std::size_t n) noexcept {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t s = vld1q_f32(v + i);
+    const float64x2_t lo = vcvt_f64_f32(vget_low_f32(s));
+    const float64x2_t hi = vcvt_f64_f32(vget_high_f32(s));
+    acc0 = vfmaq_f64(acc0, lo, lo);
+    acc1 = vfmaq_f64(acc1, hi, hi);
+  }
+  double sum = vaddvq_f64(vaddq_f64(acc0, acc1));
+  for (; i < n; ++i) sum += static_cast<double>(v[i]) * v[i];
+  return sum;
+}
+
+bool all_finite_neon(const float* v, std::size_t n) noexcept {
+  const uint32x4_t exp_mask = vdupq_n_u32(0x7f80'0000u);
+  uint32x4_t bad = vdupq_n_u32(0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t bits = vreinterpretq_u32_f32(vld1q_f32(v + i));
+    bad = vorrq_u32(bad, vceqq_u32(vandq_u32(bits, exp_mask), exp_mask));
+  }
+  if (vmaxvq_u32(bad) != 0) return false;
+  return detail::scalar_all_finite(v + i, n - i);
+}
+
+void fp16_encode_neon(const float* src, util::Half* dst,
+                      std::size_t n) noexcept {
+  auto* out = reinterpret_cast<std::uint16_t*>(dst);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float16x4_t h = vcvt_f16_f32(vld1q_f32(src + i));
+    vst1_u16(out + i, vreinterpret_u16_f16(h));
+  }
+  if (i < n) detail::scalar_fp16_encode(src + i, dst + i, n - i);
+}
+
+void fp16_decode_neon(const util::Half* src, float* dst,
+                      std::size_t n) noexcept {
+  const auto* in = reinterpret_cast<const std::uint16_t*>(src);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float16x4_t h = vreinterpret_f16_u16(vld1_u16(in + i));
+    vst1q_f32(dst + i, vcvt_f32_f16(h));
+  }
+  if (i < n) detail::scalar_fp16_decode(src + i, dst + i, n - i);
+}
+
+}  // namespace
+
+const KernelTable& neon_kernels() noexcept {
+  static const KernelTable table{
+      Isa::kNeon,
+      "neon",
+      dot_neon,
+      sgd_update_neon,
+      sgd_apply_neon,
+      sum_squares_neon,
+      all_finite_neon,
+      fp16_encode_neon,
+      fp16_decode_neon,
+  };
+  return table;
+}
+
+}  // namespace hcc::simd

@@ -1,0 +1,86 @@
+// Scalar reference implementations of every KernelTable entry.
+//
+// INTERNAL to src/simd/: included both by kernels_scalar.cpp (where these
+// become the scalar table) and by the per-ISA translation units (where they
+// handle remainder tails shorter than one vector).  Everything here has
+// internal linkage on purpose: each per-ISA TU is compiled with different
+// target flags, and letting the linker merge one copy across TUs could hoist
+// AVX-encoded code into the portable baseline path.
+//
+// The per-ISA TUs are compiled with -ffp-contract=off (see CMakeLists.txt)
+// so these tails round exactly like the scalar table on every platform; the
+// intrinsic paths use explicit FMA and are unaffected.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/fp16.hpp"
+
+namespace hcc::simd::detail {
+
+static inline float scalar_dot(const float* a, const float* b,
+                               std::uint32_t k) noexcept {
+  float dot = 0.0f;
+  for (std::uint32_t f = 0; f < k; ++f) dot += a[f] * b[f];
+  return dot;
+}
+
+static inline void scalar_sgd_apply(float* p, float* q, std::uint32_t k,
+                                    float err, float lr, float reg_p,
+                                    float reg_q) noexcept {
+  for (std::uint32_t f = 0; f < k; ++f) {
+    const float pf = p[f];
+    const float qf = q[f];
+    p[f] = pf + lr * (err * qf - reg_p * pf);
+    q[f] = qf + lr * (err * pf - reg_q * qf);
+  }
+}
+
+static inline float scalar_sgd_update(float* p, float* q, std::uint32_t k,
+                                      float r, float lr, float reg_p,
+                                      float reg_q) noexcept {
+  const float err = r - scalar_dot(p, q, k);
+  scalar_sgd_apply(p, q, k, err, lr, reg_p, reg_q);
+  return err;
+}
+
+static inline double scalar_sum_squares(const float* v,
+                                        std::size_t n) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += static_cast<double>(v[i]) * v[i];
+  }
+  return sum;
+}
+
+/// Finite iff the exponent field is not all-ones.  Pure integer test: safe
+/// under -ffast-math (where isnan/isinf and NaN-producing arithmetic can be
+/// folded away) and vectorizable.
+static inline bool scalar_is_finite_bits(float v) noexcept {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  return (bits & 0x7f80'0000u) != 0x7f80'0000u;
+}
+
+static inline bool scalar_all_finite(const float* v, std::size_t n) noexcept {
+  // Branch-free OR-fold of the exponent test so the loop vectorizes.
+  std::uint32_t bad = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(v[i]);
+    bad |= static_cast<std::uint32_t>((bits & 0x7f80'0000u) == 0x7f80'0000u);
+  }
+  return bad == 0;
+}
+
+static inline void scalar_fp16_encode(const float* src, util::Half* dst,
+                                      std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = util::float_to_fp16(src[i]);
+}
+
+static inline void scalar_fp16_decode(const util::Half* src, float* dst,
+                                      std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = util::fp16_to_float(src[i]);
+}
+
+}  // namespace hcc::simd::detail

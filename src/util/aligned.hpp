@@ -1,0 +1,57 @@
+// Cache-line-aligned allocation for the SIMD hot paths.
+//
+// The feature matrices P and Q (mf::FactorModel) and the workers' local Q
+// copies are the arrays the dispatched kernels stream over; allocating them
+// on 64-byte boundaries makes aligned vector loads legal for ranks where a
+// row is a whole number of cache lines (k % 16 == 0, e.g. the paper's
+// k = 128) and avoids cache-line splits for the rest.  The kernels still use
+// unaligned load instructions — on modern cores they are penalty-free when
+// the address happens to be aligned — so alignment is a performance
+// property here, never a correctness requirement.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace hcc::util {
+
+/// Minimal std::allocator replacement with a fixed alignment (a power of
+/// two, at least alignof(T)).
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not be weaker than alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// The float buffer type the SIMD kernels stream over.
+using AlignedFloats = std::vector<float, AlignedAllocator<float, 64>>;
+
+}  // namespace hcc::util

@@ -60,8 +60,10 @@ float fp16_to_float(Half half) noexcept {
 
   std::uint32_t f;
   if (exp == 0x1fu) {
-    // Inf / NaN.
+    // Inf / NaN.  Conversions quiet signaling NaNs (IEEE 754 §5.4.1 and
+    // what vcvtph2ps / fcvt do), so force the quiet bit on any NaN.
     f = 0x7f80'0000u | (mant << 13);
+    if (mant != 0) f |= 0x0040'0000u;
   } else if (exp != 0) {
     // Normal: re-bias exponent 15 -> 127.
     f = ((exp + 112u) << 23) | (mant << 13);

@@ -29,7 +29,8 @@ struct Half {
 Half float_to_fp16(float value) noexcept;
 
 /// Converts one binary16 value back to binary32 (exact; every binary16 value
-/// is representable in binary32).
+/// is representable in binary32).  Signaling NaNs come back quieted with
+/// their payload preserved, exactly like the hardware converters.
 float fp16_to_float(Half half) noexcept;
 
 /// Batch encode: dst[i] = float_to_fp16(src[i]).  dst.size() must equal

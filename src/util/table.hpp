@@ -29,6 +29,12 @@ class Table {
 
   std::size_t rows() const noexcept { return rows_.size(); }
 
+  /// Raw access for machine-readable exports (bench --json-out).
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& row_cells() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

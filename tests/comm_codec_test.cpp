@@ -65,6 +65,46 @@ TEST(Fp16Codec, MatchesScalarReference) {
   }
 }
 
+TEST(Fp16Codec, ThreadedConversionMatchesInlineBitExactly) {
+  // A batch above kParallelThreshold makes the threaded codec slice the
+  // range across its pool; the wire bytes must not depend on that.
+  const std::size_t n = Fp16Codec::kParallelThreshold * 3 + 17;
+  const auto src = random_features(n, 3);
+  const Fp16Codec inline_codec(0);
+  const Fp16Codec threaded_codec(4);
+  std::vector<std::byte> wire_inline(inline_codec.encoded_bytes(n));
+  std::vector<std::byte> wire_threaded(threaded_codec.encoded_bytes(n));
+  inline_codec.encode(src, wire_inline);
+  threaded_codec.encode(src, wire_threaded);
+  EXPECT_EQ(wire_inline, wire_threaded);
+
+  std::vector<float> out_inline(n);
+  std::vector<float> out_threaded(n);
+  inline_codec.decode(wire_inline, out_inline);
+  threaded_codec.decode(wire_inline, out_threaded);
+  EXPECT_EQ(out_inline, out_threaded);
+}
+
+TEST(Fp16Codec, ThreadedCodecHandlesSmallBatches) {
+  // Below the threshold the pool is bypassed; above it every tail length
+  // must still decode to the same floats.
+  const Fp16Codec threaded_codec(3);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{100},
+                              Fp16Codec::kParallelThreshold - 1,
+                              Fp16Codec::kParallelThreshold,
+                              Fp16Codec::kParallelThreshold + 1}) {
+    const auto src = random_features(n, 4);
+    std::vector<std::byte> wire(threaded_codec.encoded_bytes(n));
+    std::vector<float> out(n);
+    threaded_codec.encode(src, wire);
+    threaded_codec.decode(wire, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], util::fp16_to_float(util::float_to_fp16(src[i])))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
 TEST(Codecs, EmptyPayloadIsFine) {
   const Fp16Codec fp16;
   const Fp32Codec fp32;

@@ -1,0 +1,73 @@
+// Regression test for all_finite under -ffast-math (this file is compiled
+// with it; see tests/CMakeLists.txt).
+//
+// The earlier implementation classified values with float arithmetic
+// (acc += v * 0.0f), which -ffinite-math-only is allowed to fold away —
+// exactly the flags a release build of an embedding application might use
+// when it inlines our headers.  The kernel-table implementations test the
+// exponent bits as integers, so NaN/Inf detection must keep working here.
+#include "mf/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "simd/dispatch.hpp"
+
+#if !defined(__FAST_MATH__)
+#error "simd_fastmath_test.cpp must be compiled with -ffast-math"
+#endif
+
+namespace hcc {
+namespace {
+
+// Specials built via bit patterns: fast-math constant folding cannot
+// "optimize away" a bit_cast the way it can 0.0f / 0.0f.
+const float kNan = std::bit_cast<float>(std::uint32_t{0x7fc00000});
+const float kInf = std::bit_cast<float>(std::uint32_t{0x7f800000});
+const float kNegInf = std::bit_cast<float>(std::uint32_t{0xff800000});
+
+TEST(FastMath, AllFiniteStillDetectsSpecials) {
+  std::vector<float> v(100, 0.25f);
+  EXPECT_TRUE(mf::all_finite(v));
+  for (const float bad : {kNan, kInf, kNegInf}) {
+    for (const std::size_t pos : {std::size_t{0}, v.size() / 2,
+                                  v.size() - 1}) {
+      auto poisoned = v;
+      poisoned[pos] = bad;
+      EXPECT_FALSE(mf::all_finite(poisoned)) << "pos=" << pos;
+    }
+  }
+}
+
+TEST(FastMath, EveryKernelTableDetectsSpecials) {
+  std::vector<float> v(33, 1.0f);
+  for (const simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kNeon, simd::Isa::kAvx2,
+        simd::Isa::kAvx512}) {
+    const simd::KernelTable* table = simd::kernels_for(isa);
+    if (table == nullptr) continue;
+    EXPECT_TRUE(table->all_finite(v.data(), v.size())) << table->name;
+    auto poisoned = v;
+    poisoned[v.size() - 1] = kNan;
+    EXPECT_FALSE(table->all_finite(poisoned.data(), poisoned.size()))
+        << table->name;
+  }
+}
+
+TEST(FastMath, FiniteEdgeValuesStayFinite) {
+  // Subnormals and extreme-but-finite magnitudes must not be flagged, even
+  // though -ffast-math may flush subnormals in arithmetic.
+  std::vector<float> edge{
+      std::bit_cast<float>(std::uint32_t{0x00000001}),  // min subnormal
+      std::bit_cast<float>(std::uint32_t{0x007fffff}),  // max subnormal
+      std::bit_cast<float>(std::uint32_t{0x7f7fffff}),  // max finite
+      std::bit_cast<float>(std::uint32_t{0xff7fffff}),  // lowest finite
+      0.0f, -0.0f};
+  EXPECT_TRUE(mf::all_finite(edge));
+}
+
+}  // namespace
+}  // namespace hcc
