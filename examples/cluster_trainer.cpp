@@ -4,8 +4,13 @@
 // with the two-level HCC (see src/cluster/), printing per-global-epoch RMSE
 // and the timing decomposition: node compute vs network vs global sync.
 //
+// --exec-mode=parallel runs each node's pull/train/push pipeline on its own
+// thread against a striped global server (the functional analogue of real
+// cluster nodes working concurrently; see docs/parallel_execution.md).
+//
 //   ./cluster_trainer [--nodes=3] [--scale=0.002] [--epochs=8]
 //                     [--local_epochs=1] [--network=100g|10g|ib]
+//                     [--exec-mode=serial|parallel] [--stripes=N]
 //                     [--trace-out=trace.json] [--metrics-out=metrics.json]
 #include <iostream>
 
@@ -47,6 +52,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(cli.get("local_epochs", std::int64_t{1}));
   config.cluster = cluster::workstation_cluster(nodes, net);
   config.dataset_name = spec.name;
+  config.exec.mode =
+      core::parse_exec_mode(cli.get("exec-mode", std::string("serial")));
+  config.exec.stripes =
+      static_cast<std::uint32_t>(cli.get("stripes", std::int64_t{0}));
   for (auto& node : config.cluster.nodes) {
     for (auto& w : node.platform.workers) w.epoch_overhead_s = 0.0;
   }

@@ -12,9 +12,15 @@
 // see fault/plan.hpp; HCCMF_FAULT_PLAN works too) and --checkpoint-dir
 // persists epoch-boundary checkpoints for crash recovery.
 //
+// --exec-mode picks how the functional epoch runs (see
+// docs/parallel_execution.md): "serial" (default, deterministic) or
+// "parallel" (per-worker pipeline threads against a striped server merge;
+// --stripes overrides the auto stripe count).
+//
 //   ./quickstart [--scale=0.002] [--epochs=10] [--k=16] [--verbose]
 //                [--trace-out=trace.json] [--metrics-out=metrics.json]
 //                [--fault-plan=SPEC] [--checkpoint-dir=DIR]
+//                [--exec-mode=serial|parallel] [--stripes=N]
 #include <cstdio>
 #include <iostream>
 
@@ -73,6 +79,13 @@ int main(int argc, char** argv) {
     config.fault.plan = fault::plan_from_env();
   }
   config.fault.checkpoint_dir = cli.get("checkpoint-dir", std::string());
+
+  // Execution mode: serial (deterministic legacy loop) or parallel
+  // (per-worker pipeline threads + striped server merge).
+  config.exec.mode =
+      core::parse_exec_mode(cli.get("exec-mode", std::string("serial")));
+  config.exec.stripes =
+      static_cast<std::uint32_t>(cli.get("stripes", std::int64_t{0}));
 
   // 3. Train.
   core::HccMf framework(config);

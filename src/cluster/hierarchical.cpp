@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "comm/payload.hpp"
+#include "core/epoch_executor.hpp"
 #include "core/partition.hpp"
 #include "core/server.hpp"
 #include "core/worker.hpp"
@@ -139,7 +140,9 @@ ClusterReport HierarchicalHcc::train(const data::RatingMatrix& train_ratings,
   util::Rng rng(config_.sgd.seed);
   mf::FactorModel model(shape.m, shape.n, shape.k);
   model.init_random(rng, static_cast<float>(mean));
-  core::Server global_server(std::move(model), config_.comm);
+  const std::uint32_t stripes = core::resolve_stripes(
+      config_.exec, static_cast<std::uint32_t>(shape.n), slices.size());
+  core::Server global_server(std::move(model), config_.comm, stripes);
 
   // Per-item weights across nodes (same rule as the intra-node merge).
   std::vector<std::vector<std::size_t>> counts;
@@ -162,6 +165,8 @@ ClusterReport HierarchicalHcc::train(const data::RatingMatrix& train_ratings,
       }
     }
     nodes.back().set_item_weights(std::move(weights));
+    nodes.back().set_exec(config_.exec.mode == core::ExecMode::kParallel,
+                          config_.exec.double_buffer);
   }
 
   std::unique_ptr<util::ThreadPool> pool;
@@ -174,18 +179,38 @@ ClusterReport HierarchicalHcc::train(const data::RatingMatrix& train_ratings,
   const GlobalEpochTiming last_t =
       time_global_epoch(shape, report.node_shares, true);
 
+  core::EpochExecutor executor(config_.exec, nodes.size());
+  const std::vector<bool> all_alive(nodes.size(), true);
+
   float lr = config_.sgd.learn_rate;
   for (std::uint32_t epoch = 0; epoch < config_.sgd.epochs; ++epoch) {
-    for (auto& node : nodes) node.pull(global_server);
-    for (auto& node : nodes) {
-      // `local_epochs` full passes over the node's slice between global
-      // syncs (the staleness/communication trade-off knob).
+    // One node's global epoch: pull, `local_epochs` full passes over the
+    // node's slice between global syncs (the staleness/communication
+    // trade-off knob), push.
+    auto node_pipeline = [&](core::TrainWorker& node) {
+      node.pull(global_server);
       for (std::uint32_t le = 0; le < config_.local_epochs; ++le) {
         node.compute_chunk(global_server, 0, lr, config_.sgd.reg_p,
                            config_.sgd.reg_q, pool.get());
       }
+      node.push(global_server);
+    };
+    if (executor.mode() == core::ExecMode::kParallel) {
+      // Cluster nodes really do work concurrently; run each node's whole
+      // pipeline on its own executor thread against the striped server.
+      executor.run_parallel(all_alive,
+                            [&](std::size_t n) { node_pipeline(nodes[n]); });
+    } else {
+      // Legacy order: all pulls, all local trainings, all pushes.
+      for (auto& node : nodes) node.pull(global_server);
+      for (auto& node : nodes) {
+        for (std::uint32_t le = 0; le < config_.local_epochs; ++le) {
+          node.compute_chunk(global_server, 0, lr, config_.sgd.reg_p,
+                             config_.sgd.reg_q, pool.get());
+        }
+      }
+      for (auto& node : nodes) node.push(global_server);
     }
-    for (auto& node : nodes) node.push(global_server);
     lr *= config_.sgd.lr_decay;
 
     const GlobalEpochTiming& t =

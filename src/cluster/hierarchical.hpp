@@ -36,6 +36,12 @@ struct HierarchicalConfig {
   core::DataManagerOptions manager;
   std::string dataset_name;
   std::uint32_t host_threads = 0;  ///< functional ASGD threads per node
+  /// Execution mode of the functional global epoch (see
+  /// core/epoch_executor.hpp): kSerial iterates nodes on one thread in the
+  /// legacy order; kParallel runs each node's pull/train/push pipeline on
+  /// its own thread against a striped global server — the closest
+  /// functional analogue of real cluster nodes working concurrently.
+  core::ExecOptions exec;
 };
 
 /// Per-global-epoch timing decomposition.

@@ -1,0 +1,183 @@
+#include "core/epoch_executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/server.hpp"
+#include "core/worker.hpp"
+#include "fault/errors.hpp"
+
+namespace hcc::core {
+
+namespace {
+
+/// Barrier rethrow priority: a dead worker outranks a diverged one outranks
+/// anything else, so concurrent failures resolve to the same recovery path
+/// regardless of thread timing.
+int error_rank(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const fault::WorkerFault&) {
+    return 0;
+  } catch (const fault::DivergenceError&) {
+    return 1;
+  } catch (...) {
+    return 2;
+  }
+}
+
+}  // namespace
+
+const char* exec_mode_name(ExecMode mode) {
+  return mode == ExecMode::kParallel ? "parallel" : "serial";
+}
+
+ExecMode parse_exec_mode(const std::string& name) {
+  if (name == "serial") return ExecMode::kSerial;
+  if (name == "parallel") return ExecMode::kParallel;
+  throw std::invalid_argument("unknown exec mode: \"" + name +
+                              "\" (expected serial|parallel)");
+}
+
+std::uint32_t resolve_stripes(const ExecOptions& opts, std::uint32_t items,
+                              std::size_t workers) {
+  if (opts.mode == ExecMode::kSerial) return 1;
+  const std::uint32_t want =
+      opts.stripes > 0
+          ? opts.stripes
+          : 8 * static_cast<std::uint32_t>(std::max<std::size_t>(1, workers));
+  return std::clamp(want, 1u, std::max(1u, items));
+}
+
+EpochExecutor::EpochExecutor(const ExecOptions& options, std::size_t n_workers)
+    : options_(options), n_(n_workers), errors_(n_workers) {}
+
+EpochExecutor::~EpochExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void EpochExecutor::start_threads() {
+  if (!threads_.empty() || n_ == 0) return;
+  threads_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    threads_.emplace_back([this, i] { thread_loop(i); });
+  }
+}
+
+void EpochExecutor::thread_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    bool live = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock,
+                    [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      fn = fn_;
+      live = alive_ == nullptr || index >= alive_->size() ||
+             (*alive_)[index];
+    }
+    std::exception_ptr error;
+    if (live && fn != nullptr) {
+      try {
+        (*fn)(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Move, don't copy: the local must not keep a reference past the
+      // lock, or its destructor could do the exception object's *final*
+      // release unsynchronized with the main thread still examining it.
+      errors_[index] = std::move(error);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void EpochExecutor::run_parallel(const std::vector<bool>& alive,
+                                 const std::function<void(std::size_t)>& fn) {
+  if (n_ == 0) return;
+  start_threads();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    alive_ = &alive;
+    fn_ = &fn;
+    std::fill(errors_.begin(), errors_.end(), std::exception_ptr());
+    pending_ = n_;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    alive_ = nullptr;
+    fn_ = nullptr;
+  }
+  rethrow_barrier_error();
+}
+
+void EpochExecutor::rethrow_barrier_error() {
+  // errors_ is only touched by parked threads between barriers, so reading
+  // it without the lock here (pending_ == 0 established the happens-before)
+  // is fine — but take the lock anyway; this path is cold.
+  std::exception_ptr winner;
+  int winner_rank = 3;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& ep : errors_) {
+      if (!ep) continue;
+      const int rank = error_rank(ep);
+      if (rank < winner_rank) {
+        winner_rank = rank;
+        winner = ep;
+      }
+    }
+  }
+  if (winner) std::rethrow_exception(winner);
+}
+
+void EpochExecutor::run_epoch(std::vector<TrainWorker>& workers,
+                              const std::vector<bool>& alive, Server& server,
+                              float lr, float reg_p, float reg_q,
+                              util::ThreadPool* pool) {
+  if (options_.mode == ExecMode::kSerial) {
+    // The legacy interleaved loop, preserved verbatim: for each chunk, all
+    // pulls, then all computes, then all pushes, in worker order.  Merge
+    // order (and thus float arithmetic order) is exactly the pre-executor
+    // trajectory — the determinism contract behind kSerial.
+    std::uint32_t max_streams = 1;
+    for (const auto& w : workers) {
+      max_streams = std::max(max_streams, w.streams());
+    }
+    for (std::uint32_t chunk = 0; chunk < max_streams; ++chunk) {
+      for (auto& w : workers) {
+        if (alive[w.id()] && chunk < w.streams()) w.pull(server);
+      }
+      for (auto& w : workers) {
+        if (alive[w.id()] && chunk < w.streams()) {
+          w.compute_chunk(server, chunk, lr, reg_p, reg_q, pool);
+        }
+      }
+      for (auto& w : workers) {
+        if (alive[w.id()] && chunk < w.streams()) w.push(server);
+      }
+    }
+    return;
+  }
+  run_parallel(alive, [&](std::size_t i) {
+    workers[i].run_pipeline(server, lr, reg_p, reg_q, pool);
+  });
+}
+
+}  // namespace hcc::core

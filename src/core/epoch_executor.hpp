@@ -1,0 +1,134 @@
+// Concurrent epoch executor (Figure 6, Strategy 3 — for real this time).
+//
+// The paper's headline claim is *collaborative* execution: every CPU/GPU
+// worker runs its own pull -> compute -> push pipeline concurrently, with
+// the server merge (Eq. 3's T_sync) either overlapped or hidden.  This
+// executor provides the two execution modes behind that claim:
+//
+//  - kSerial   reproduces the original single-host-thread loop exactly —
+//              workers interleave phase by phase, chunk by chunk, in worker
+//              order.  The training trajectory is bit-identical to the
+//              pre-executor code, which is why it stays the default.
+//  - kParallel gives each worker a dedicated thread running its *entire*
+//              chunked pipeline independently (per-worker pipelines, in the
+//              HogWild / FPSGD tradition adapted to our parameter-server
+//              shape).  Workers join at an epoch barrier; exceptions
+//              (fault::WorkerFault, fault::DivergenceError) are captured
+//              per thread and the highest-priority one is rethrown at the
+//              barrier, so HccMf::train's recovery/rollback paths work
+//              unchanged.
+//
+// Under kParallel the Server's Q is partitioned into row-range stripes with
+// per-stripe mutexes (see core/server.hpp) so merges from different workers
+// proceed concurrently instead of serializing the whole T_sync term, and
+// each worker may double-buffer its local Q so chunk c+1's pull overlaps
+// chunk c's compute (the copy-engine overlap of Strategy 3, done with a
+// prefetch thread — see core/worker.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hcc::util {
+class ThreadPool;
+}
+
+namespace hcc::core {
+
+class Server;
+class TrainWorker;
+
+/// How one functional epoch executes across the workers.
+enum class ExecMode : std::uint8_t {
+  kSerial,    ///< legacy interleaved loop, one host thread, deterministic
+  kParallel,  ///< per-worker pipeline threads + striped server merge
+};
+
+/// Everything configurable about the executor.
+struct ExecOptions {
+  ExecMode mode = ExecMode::kSerial;
+  /// Q stripes for the server merge under kParallel (0 = auto: 8 per
+  /// worker, clamped to the item count).  kSerial always runs 1 stripe so
+  /// the merge arithmetic order is exactly the legacy order.
+  std::uint32_t stripes = 0;
+  /// Double-buffer each worker's local Q under kParallel so chunk c+1's
+  /// pull (on a prefetch thread) overlaps chunk c's compute.  Only takes
+  /// effect for workers with pipeline depth >= 2.
+  bool double_buffer = true;
+};
+
+/// "serial" / "parallel" (CLI + logging).
+const char* exec_mode_name(ExecMode mode);
+
+/// Parses "serial" / "parallel"; throws std::invalid_argument otherwise.
+ExecMode parse_exec_mode(const std::string& name);
+
+/// Stripe count the server should run: 1 under kSerial; under kParallel
+/// `opts.stripes`, or 8 per worker when 0 — always clamped to [1, items].
+std::uint32_t resolve_stripes(const ExecOptions& opts, std::uint32_t items,
+                              std::size_t workers);
+
+/// Runs the workers of one epoch, in either mode.  One executor serves a
+/// whole training run; its worker threads (kParallel) are spawned lazily on
+/// the first epoch and parked on a barrier between epochs.
+class EpochExecutor {
+ public:
+  /// `n_workers` fixes the thread-pool width (one thread per worker).
+  EpochExecutor(const ExecOptions& options, std::size_t n_workers);
+
+  EpochExecutor(const EpochExecutor&) = delete;
+  EpochExecutor& operator=(const EpochExecutor&) = delete;
+
+  ~EpochExecutor();
+
+  ExecMode mode() const noexcept { return options_.mode; }
+  const ExecOptions& options() const noexcept { return options_; }
+
+  /// One full functional epoch over `workers`:
+  ///  - kSerial: the legacy loop — for each chunk, all pulls, then all
+  ///    computes, then all pushes, in worker order (bit-identical).
+  ///  - kParallel: each alive worker's TrainWorker::run_pipeline on its
+  ///    dedicated thread, joined at the epoch barrier.
+  void run_epoch(std::vector<TrainWorker>& workers,
+                 const std::vector<bool>& alive, Server& server, float lr,
+                 float reg_p, float reg_q, util::ThreadPool* pool);
+
+  /// The generic barrier primitive behind kParallel (public for tests and
+  /// for callers with non-TrainWorker work units, e.g. the cluster layer's
+  /// node pipelines): runs fn(i) for every i with alive[i] on worker i's
+  /// dedicated thread and blocks until all checked in.  Exceptions are
+  /// captured per worker; after the barrier the highest-priority one is
+  /// rethrown — fault::WorkerFault outranks fault::DivergenceError
+  /// outranks anything else, ties broken by the lowest worker index — so
+  /// concurrent failures surface deterministically.
+  void run_parallel(const std::vector<bool>& alive,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void start_threads();
+  void thread_loop(std::size_t index);
+  /// Rethrows the winner of `errors_` (no-op when all null).
+  void rethrow_barrier_error();
+
+  ExecOptions options_;
+  std::size_t n_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> threads_;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  const std::vector<bool>* alive_ = nullptr;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace hcc::core

@@ -260,24 +260,31 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
   util::Rng rng(config_.sgd.seed);
   mf::FactorModel model(shape.m, shape.n, shape.k);
   model.init_random(rng, static_cast<float>(mean));
-  Server server(std::move(model), config_.comm);
+  // Stripe count: always 1 under kSerial (the legacy single-lock merge,
+  // bit-identical order); under kParallel the configured/auto count.
+  const std::uint32_t stripes =
+      resolve_stripes(config_.exec, static_cast<std::uint32_t>(shape.n),
+                      slices.size());
+  Server server(std::move(model), config_.comm, stripes);
 
   // Fault tolerance: with no plan and no checkpoint dir the runtime is
   // inert — no checksums, no extra wire bytes, no injections — and the
   // training trajectory is bit-identical to a build without it.
   fault::FaultRuntime fault_rt(config_.fault);
 
+  const bool parallel = config_.exec.mode == ExecMode::kParallel;
   std::vector<TrainWorker> workers;
-  std::uint32_t max_streams = 1;
   for (std::size_t i = 0; i < slices.size(); ++i) {
     const auto& device = config_.platform.workers[i];
     const std::uint32_t streams =
         comm::effective_streams(config_.comm, device);
-    max_streams = std::max(max_streams, streams);
     workers.emplace_back(static_cast<std::uint32_t>(i), device.name,
                          std::move(slices[i]), config_.comm, streams);
     workers.back().set_fault_runtime(&fault_rt);
+    workers.back().set_exec(parallel, config_.exec.double_buffer);
   }
+  obs::registry().gauge("exec.mode").set(parallel ? 1.0 : 0.0);
+  obs::registry().gauge("exec.stripes").set(static_cast<double>(stripes));
 
   std::vector<bool> alive(workers.size(), true);
 
@@ -336,6 +343,10 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
   std::vector<double> live_shares = report.plan.shares;
   std::uint32_t rollbacks_done = 0;
 
+  // One executor serves the whole run; under kParallel its per-worker
+  // threads spawn on the first epoch and park between epochs.
+  EpochExecutor executor(config_.exec, workers.size());
+
   std::uint32_t epoch = 0;
   while (epoch < config_.sgd.epochs) {
     fault_rt.injector().begin_epoch(epoch);
@@ -352,20 +363,12 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
       }
       // pull -> compute -> push, chunked per worker by its stream depth
       // (Figure 6's pipelines; chunk boundaries act as the async syncs).
-      for (std::uint32_t chunk = 0; chunk < max_streams; ++chunk) {
-        for (auto& w : workers) {
-          if (alive[w.id()] && chunk < w.streams()) w.pull(server);
-        }
-        for (auto& w : workers) {
-          if (alive[w.id()] && chunk < w.streams()) {
-            w.compute_chunk(server, chunk, lr, config_.sgd.reg_p,
-                            config_.sgd.reg_q, pool.get());
-          }
-        }
-        for (auto& w : workers) {
-          if (alive[w.id()] && chunk < w.streams()) w.push(server);
-        }
-      }
+      // kSerial interleaves the phases on this thread exactly as before;
+      // kParallel runs each worker's whole pipeline on its own executor
+      // thread and rethrows any captured fault here at the barrier, so the
+      // recovery paths below are shared by both modes.
+      executor.run_epoch(workers, alive, server, lr, config_.sgd.reg_p,
+                         config_.sgd.reg_q, pool.get());
       if (quantizing_pq_each_epoch) server.roundtrip_p_through_codec();
       lr *= config_.sgd.lr_decay;
 

@@ -21,6 +21,7 @@
 #include "comm/strategy.hpp"
 #include "core/adaptive.hpp"
 #include "core/data_manager.hpp"
+#include "core/epoch_executor.hpp"
 #include "core/server.hpp"
 #include "core/worker.hpp"
 #include "data/datasets.hpp"
@@ -64,6 +65,11 @@ struct HccMfConfig {
   std::string dataset_name;
   /// Host threads for the functional workers' ASGD (0 = single-threaded).
   std::uint32_t host_threads = 0;
+  /// How the functional epoch executes across workers (see
+  /// core/epoch_executor.hpp): kSerial (default) keeps the bit-identical
+  /// deterministic single-thread trajectory; kParallel runs each worker's
+  /// pipeline on its own thread against a striped server.
+  ExecOptions exec;
   /// Evaluate test RMSE after every epoch (functional runs only).
   bool evaluate_each_epoch = true;
 

@@ -43,12 +43,23 @@ TrainWorker::TrainWorker(std::uint32_t id, std::string device_name,
                                   device_name_ + ")");
 }
 
+TrainWorker::~TrainWorker() {
+  if (prefetch_thread_.joinable()) prefetch_thread_.join();
+}
+
+void TrainWorker::set_exec(bool parallel, bool double_buffer) {
+  parallel_ = parallel;
+  // Double-buffering only pays (and is only exercised) with a pipeline to
+  // overlap; the buffers themselves are sized lazily at the next pull.
+  double_buffer_ = parallel && double_buffer && streams_ >= 2;
+}
+
 void TrainWorker::set_fault_runtime(fault::FaultRuntime* runtime) {
   fault_ = runtime;
   if (runtime != nullptr && runtime->active()) {
     backend_->set_checksum_enabled(true);
-    backend_->set_wire_tap([runtime](std::span<std::byte> wire) {
-      runtime->injector().tap_wire(wire);
+    backend_->set_wire_tap([runtime, worker = id_](std::span<std::byte> wire) {
+      runtime->injector().tap_wire(wire, worker);
     });
   }
 }
@@ -63,7 +74,9 @@ void TrainWorker::rebuild_touched() {
 
 void TrainWorker::absorb_entries(const std::vector<data::Rating>& entries) {
   if (entries.empty()) return;
-  for (const auto& e : entries) slice_.add(e.u, e.i, e.r);
+  // One bulk append (a single reserve + memcpy-ish insert), then one index
+  // rebuild — not O(entries) incremental add() calls.
+  slice_.append(entries);
   if (sparse_) rebuild_touched();
 }
 
@@ -103,7 +116,7 @@ void TrainWorker::transfer_with_retry(std::span<const float> src,
 void TrainWorker::gather_touched(std::span<const float> q,
                                  std::vector<float>& packed,
                                  std::uint32_t k) const {
-  packed.resize(touched_.size() * k);
+  assert(packed.size() == touched_.size() * std::size_t(k));
   for (std::size_t t = 0; t < touched_.size(); ++t) {
     const float* src = &q[std::size_t(touched_[t]) * k];
     std::copy(src, src + k, &packed[t * k]);
@@ -113,37 +126,127 @@ void TrainWorker::gather_touched(std::span<const float> q,
 void TrainWorker::scatter_touched(const std::vector<float>& packed,
                                   std::span<float> q,
                                   std::uint32_t k) const {
+  assert(packed.size() == touched_.size() * std::size_t(k));
   for (std::size_t t = 0; t < touched_.size(); ++t) {
     const float* src = &packed[t * k];
     std::copy(src, src + k, &q[std::size_t(touched_[t]) * k]);
   }
 }
 
-void TrainWorker::pull(Server& server) {
-  if (fault_ != nullptr) fault_->injector().check_phase(id_);
-  obs::ScopedSpan span("pull", obs::kPhaseCategory, track_of(id_));
-  const std::span<const float> global_q = server.model().q_data();
-  if (local_q_.size() != global_q.size()) {
-    local_q_.resize(global_q.size());
-    snapshot_q_.resize(global_q.size());
-    push_staging_.resize(global_q.size());
+void TrainWorker::ensure_buffers(Server& server) {
+  const std::size_t q_size = server.model().q_data().size();
+  const std::uint32_t k = server.model().k();
+  if (local_q_.size() != q_size) {
+    local_q_.assign(q_size, 0.0f);
+    snapshot_q_.assign(q_size, 0.0f);
+    push_staging_.assign(q_size, 0.0f);
   }
   if (sparse_) {
+    // Sized once from the touched set (re-sized only after absorb_entries
+    // grows it); the gather/scatter hot paths assert instead of resizing.
+    const std::size_t packed = touched_.size() * k;
+    if (packed_send_.size() != packed) {
+      packed_send_.resize(packed);
+      packed_recv_.resize(packed);
+    }
+  } else if (parallel_ && pull_staging_.size() != q_size) {
+    pull_staging_.resize(q_size);
+  }
+  if (double_buffer_ && local_q_back_.size() != q_size) {
+    local_q_back_.assign(q_size, 0.0f);
+    snapshot_q_back_.assign(q_size, 0.0f);
+  }
+}
+
+void TrainWorker::pull_into(Server& server, util::AlignedFloats& q_dst,
+                            std::vector<float>& snap_dst) {
+  const std::uint32_t k = server.model().k();
+  if (sparse_) {
     // Strategy 4: only the touched Q rows cross the wire.
-    const std::uint32_t k = server.model().k();
-    gather_touched(global_q, packed_send_, k);
-    packed_recv_.resize(packed_send_.size());
+    if (parallel_) {
+      server.gather_q_rows(touched_, packed_send_);
+    } else {
+      gather_touched(server.model().q_data(), packed_send_, k);
+    }
     transfer_with_retry(packed_send_, packed_recv_, server.codec());
-    scatter_touched(packed_recv_, local_q_, k);
+    scatter_touched(packed_recv_, q_dst, k);
+  } else if (parallel_) {
+    // Concurrent execution: other workers may be merging right now, so the
+    // global read goes through the server's stripe locks.
+    server.read_q(pull_staging_);
+    transfer_with_retry(pull_staging_, q_dst, server.codec());
   } else {
-    transfer_with_retry(global_q, local_q_, server.codec());
+    transfer_with_retry(server.model().q_data(), q_dst, server.codec());
   }
   // The snapshot is what this worker *received* (post-codec), so the later
   // delta merge cancels the pull's quantization exactly.  Under sparse
   // push the untouched rows copy local (stale) values: their delta is then
   // exactly zero, so they neither travel nor merge.
-  std::copy(local_q_.begin(), local_q_.end(), snapshot_q_.begin());
+  std::copy(q_dst.begin(), q_dst.end(), snap_dst.begin());
+}
+
+void TrainWorker::pull(Server& server) {
+  if (fault_ != nullptr) fault_->injector().check_phase(id_);
+  obs::ScopedSpan span("pull", obs::kPhaseCategory, track_of(id_));
+  ensure_buffers(server);
+  pull_into(server, local_q_, snapshot_q_);
   record_phase(span.stop(), &obs::PhaseTimes::pull_s, hist_pull_);
+}
+
+void TrainWorker::start_prefetch(Server& server) {
+  assert(!prefetch_thread_.joinable());
+  prefetch_error_ = nullptr;
+  prefetch_thread_ = std::thread([this, &server] {
+    try {
+      if (fault_ != nullptr) fault_->injector().check_phase(id_);
+      obs::ScopedSpan span("pull (prefetch)", obs::kPhaseCategory,
+                           track_of(id_));
+      pull_into(server, local_q_back_, snapshot_q_back_);
+      record_phase(span.stop(), &obs::PhaseTimes::pull_s, hist_pull_);
+    } catch (...) {
+      prefetch_error_ = std::current_exception();
+    }
+  });
+}
+
+void TrainWorker::join_prefetch() {
+  if (prefetch_thread_.joinable()) prefetch_thread_.join();
+  if (prefetch_error_) {
+    std::exception_ptr error = prefetch_error_;
+    prefetch_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void TrainWorker::swap_buffers() {
+  local_q_.swap(local_q_back_);
+  snapshot_q_.swap(snapshot_q_back_);
+}
+
+void TrainWorker::fold_own_delta(std::uint32_t k) {
+  auto fold_row = [&](std::uint32_t item, float w) {
+    if (w == 0.0f) return;
+    const std::size_t base = std::size_t(item) * k;
+    for (std::uint32_t f = 0; f < k; ++f) {
+      const float d = w * (push_staging_[base + f] - snapshot_q_[base + f]);
+      local_q_back_[base + f] += d;
+      snapshot_q_back_[base + f] += d;
+    }
+  };
+  if (sparse_) {
+    // Only touched rows can carry a non-zero delta.
+    for (const std::uint32_t item : touched_) {
+      fold_row(item, item_weights_.empty() ? sync_weight_
+                                           : item_weights_[item]);
+    }
+  } else {
+    const std::uint32_t items =
+        static_cast<std::uint32_t>(push_staging_.size() / k);
+    for (std::uint32_t item = 0; item < items; ++item) {
+      fold_row(item, item_weights_.empty() ? sync_weight_
+                                           : item_weights_[item]);
+    }
+  }
 }
 
 void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
@@ -200,7 +303,6 @@ void TrainWorker::push(Server& server) {
   if (sparse_) {
     const std::uint32_t k = server.model().k();
     gather_touched(local_q_, packed_send_, k);
-    packed_recv_.resize(packed_send_.size());
     transfer_with_retry(packed_send_, packed_recv_, server.codec());
     // Untouched rows carry the snapshot, so their merge delta is zero.
     std::copy(snapshot_q_.begin(), snapshot_q_.end(), push_staging_.begin());
@@ -208,19 +310,56 @@ void TrainWorker::push(Server& server) {
   } else {
     transfer_with_retry(local_q_, push_staging_, server.codec());
   }
-  if (fault_ != nullptr) fault_->injector().end_push();
+  if (fault_ != nullptr) fault_->injector().end_push(id_);
   record_phase(span.stop(), &obs::PhaseTimes::push_s, hist_push_);
 
   // The server-side merge is the paper's T_sync term — timed separately
   // and attributed to this worker (the server records its own span).
+  // Under concurrent execution a sparse worker hands the server its
+  // touched-row set so the merge locks (and walks) only those stripes.
+  const std::span<const std::uint32_t> touched =
+      (parallel_ && sparse_) ? std::span<const std::uint32_t>(touched_)
+                             : std::span<const std::uint32_t>();
   util::Stopwatch sync_watch;
   if (!item_weights_.empty()) {
     server.sync_q(push_staging_, snapshot_q_,
-                  std::span<const float>(item_weights_));
+                  std::span<const float>(item_weights_), touched);
   } else {
-    server.sync_q(push_staging_, snapshot_q_, sync_weight_);
+    server.sync_q(push_staging_, snapshot_q_, sync_weight_, touched);
   }
   record_phase(sync_watch.seconds(), &obs::PhaseTimes::sync_s, hist_sync_);
+}
+
+void TrainWorker::run_pipeline(Server& server, float lr, float reg_p,
+                               float reg_q, util::ThreadPool* pool) {
+  try {
+    pull(server);
+    for (std::uint32_t chunk = 0; chunk < streams_; ++chunk) {
+      const bool prefetching = double_buffer_ && chunk + 1 < streams_;
+      if (prefetching) start_prefetch(server);
+      compute_chunk(server, chunk, lr, reg_p, reg_q, pool);
+      if (prefetching) join_prefetch();
+      push(server);
+      if (chunk + 1 < streams_) {
+        if (prefetching) {
+          fold_own_delta(server.model().k());
+          swap_buffers();
+        } else {
+          // No prefetch in flight: re-pull so the next chunk computes on
+          // fresh Q and — critically — pushes against a fresh snapshot
+          // (a stale snapshot would re-merge this chunk's delta).
+          pull(server);
+        }
+      }
+    }
+  } catch (...) {
+    // Quiesce the prefetch thread before the exception crosses the epoch
+    // barrier; a concurrent prefetch error (if any) is superseded by the
+    // exception already in flight.
+    if (prefetch_thread_.joinable()) prefetch_thread_.join();
+    prefetch_error_ = nullptr;
+    throw;
+  }
 }
 
 }  // namespace hcc::core

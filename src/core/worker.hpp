@@ -6,11 +6,20 @@
 // P rows inside the slice are exclusive to this worker under a row grid, so
 // it updates the global P in place — exactly why "Transmitting Q only"
 // loses nothing (Section 3.4, Strategy 1).
+//
+// Under the concurrent epoch executor (core/epoch_executor.hpp) each
+// worker's whole chunked pipeline runs on a dedicated thread via
+// run_pipeline(); pulls then go through the server's stripe-locked readers
+// (safe against concurrent merges), and with double-buffering on, chunk
+// c+1's pull runs on a prefetch thread overlapping chunk c's compute
+// (Strategy 3's copy-engine overlap).
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "comm/strategy.hpp"
@@ -34,6 +43,11 @@ class TrainWorker {
               data::RatingMatrix slice, const comm::CommConfig& config,
               std::uint32_t streams = 1);
 
+  TrainWorker(TrainWorker&&) = default;
+  TrainWorker& operator=(TrainWorker&&) = default;
+
+  ~TrainWorker();
+
   std::uint32_t id() const noexcept { return id_; }
   const std::string& device_name() const noexcept { return device_name_; }
   std::size_t assigned_nnz() const noexcept { return slice_.nnz(); }
@@ -42,6 +56,13 @@ class TrainWorker {
   /// Items this worker's slice actually rates; under sparse push (see
   /// comm::CommConfig::sparse) only these Q rows travel.
   std::size_t touched_items() const noexcept { return touched_.size(); }
+
+  /// Switches between the single-threaded legacy phase methods and the
+  /// concurrent pipeline: under `parallel` pulls route through the
+  /// server's stripe-locked readers and pushes pass the touched-row set so
+  /// the merge skips untouched stripes; `double_buffer` additionally
+  /// overlaps chunk c+1's pull with chunk c's compute (streams >= 2 only).
+  void set_exec(bool parallel, bool double_buffer);
 
   /// Pulls the global Q through this worker's COMM channel (one wire copy)
   /// and snapshots it for the later delta merge.
@@ -57,6 +78,15 @@ class TrainWorker {
   /// the delta against this worker's pull snapshot, weighted by this
   /// worker's data share (see Server::sync_q).
   void push(Server& server);
+
+  /// One whole epoch of this worker — pull, then per chunk compute+push,
+  /// with the next chunk's pull prefetched during compute when
+  /// double-buffering is on.  This is the unit the concurrent executor
+  /// runs on the worker's dedicated thread; faults thrown anywhere in the
+  /// pipeline (including on the prefetch thread) propagate out after the
+  /// prefetch thread is quiesced.
+  void run_pipeline(Server& server, float lr, float reg_p, float reg_q,
+                    util::ThreadPool* pool);
 
   /// Arms the fault-tolerance hooks: scheduled kill/corrupt injection,
   /// wire checksums, bounded retry on checksum failure, and the post-chunk
@@ -113,6 +143,32 @@ class TrainWorker {
   }
 
  private:
+  /// Sizes every staging buffer for the current slice/mode once, so the
+  /// per-epoch pull/push paths never reallocate (they assert instead).
+  void ensure_buffers(Server& server);
+
+  /// The shared body of pull()/the prefetch: wire-transfers the global Q
+  /// into `q_dst` and snapshots the received state into `snap_dst`.  Under
+  /// parallel execution the global read goes through the server's
+  /// stripe-locked readers.
+  void pull_into(Server& server, util::AlignedFloats& q_dst,
+                 std::vector<float>& snap_dst);
+
+  /// Launches the prefetch thread pulling the *next* chunk's Q into the
+  /// back buffers; join_prefetch() quiesces it and rethrows anything it
+  /// threw (fault injection fires there too).  swap_buffers() promotes the
+  /// prefetched Q to the front.
+  void start_prefetch(Server& server);
+  void join_prefetch();
+  void swap_buffers();
+
+  /// The prefetched Q was read before this chunk's push landed on the
+  /// server, so it is stale by exactly the (weighted) delta we just merged.
+  /// Folds that delta into *both* back buffers: compute sees its own
+  /// updates one chunk sooner, and because local and snapshot shift
+  /// together the next push delta — hence the server — is unaffected.
+  void fold_own_delta(std::uint32_t k);
+
   /// Gathers this worker's touched Q rows into `packed`, or scatters them
   /// back; the sparse-push wire format (Strategy 4, extension).
   void gather_touched(std::span<const float> q, std::vector<float>& packed,
@@ -146,6 +202,8 @@ class TrainWorker {
   data::RatingMatrix slice_;
   std::uint32_t streams_;
   bool sparse_ = false;
+  bool parallel_ = false;       ///< concurrent executor drives this worker
+  bool double_buffer_ = false;  ///< overlap next pull with current compute
   std::vector<std::uint32_t> touched_;  ///< items this slice rates (sparse)
   float sync_weight_ = 1.0f;
   std::vector<float> item_weights_;
@@ -156,9 +214,15 @@ class TrainWorker {
   /// 64-byte-aligned: the SGD inner loop streams over these Q rows.
   util::AlignedFloats local_q_;
   std::vector<float> snapshot_q_;
+  /// Back buffers the prefetch thread fills (double-buffering only).
+  util::AlignedFloats local_q_back_;
+  std::vector<float> snapshot_q_back_;
+  std::vector<float> pull_staging_;  ///< stripe-locked dense read landing
   std::vector<float> push_staging_;
   std::vector<float> packed_send_;
   std::vector<float> packed_recv_;
+  std::thread prefetch_thread_;
+  std::exception_ptr prefetch_error_;
 };
 
 }  // namespace hcc::core

@@ -26,6 +26,15 @@ void RatingMatrix::add(std::uint32_t u, std::uint32_t i, float r) {
   entries_.push_back(Rating{u, i, r});
 }
 
+void RatingMatrix::append(std::span<const Rating> entries) {
+#ifndef NDEBUG
+  for (const auto& e : entries) {
+    assert(e.u < rows_ && e.i < cols_);
+  }
+#endif
+  entries_.insert(entries_.end(), entries.begin(), entries.end());
+}
+
 void RatingMatrix::shuffle(util::Rng& rng) { util::shuffle(entries_, rng); }
 
 void RatingMatrix::sort_by_row() {

@@ -51,6 +51,11 @@ class RatingMatrix {
   void add(std::uint32_t u, std::uint32_t i, float r);
   void reserve(std::size_t n) { entries_.reserve(n); }
 
+  /// Bulk append: one reserve + one contiguous insert (bounds-checked with
+  /// assert in debug builds) — the degraded-mode repartition path absorbs
+  /// whole entry batches this way instead of O(entries) add() calls.
+  void append(std::span<const Rating> entries);
+
   /// Randomizes visit order (step 1 of the paper's preprocessing).
   void shuffle(util::Rng& rng);
 

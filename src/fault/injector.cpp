@@ -10,9 +10,10 @@ FaultInjector::FaultInjector(FaultPlan plan)
       kill_fired_(plan_.events.size(), false) {}
 
 void FaultInjector::count_injection(std::uint64_t n) {
-  injected_ += n;
+  injected_.fetch_add(n, std::memory_order_relaxed);
   // Resolved on first injection so fault-free runs leave the metrics
   // registry untouched (bit-identical metrics JSON without a plan).
+  // Caller holds mutex_, which serializes the resolution.
   if (injected_counter_ == nullptr) {
     injected_counter_ = &obs::registry().counter("fault.injected");
   }
@@ -20,8 +21,9 @@ void FaultInjector::count_injection(std::uint64_t n) {
 }
 
 void FaultInjector::begin_epoch(std::uint32_t epoch) {
-  epoch_ = epoch;
-  push_armed_ = false;
+  epoch_.store(epoch, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_chunks_.clear();
   for (const FaultEvent& e : plan_.events) {
     if (e.kind == FaultKind::kStall && e.epoch == epoch) {
       count_injection();
@@ -34,18 +36,21 @@ void FaultInjector::begin_epoch(std::uint32_t epoch) {
 }
 
 void FaultInjector::check_phase(std::uint32_t worker) {
+  if (plan_.events.empty()) return;
+  const std::uint32_t epoch = current_epoch();
+  std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& e = plan_.events[i];
     if (e.kind != FaultKind::kKill || e.worker != worker || kill_fired_[i]) {
       continue;
     }
-    if (e.epoch == epoch_) {
+    if (e.epoch == epoch) {
       kill_fired_[i] = true;
       count_injection();
       util::log_kv(util::LogLevel::kWarn, "fault_injected",
                    {util::kv("kind", "kill"), util::kv("worker", worker),
-                    util::kv("epoch", epoch_)});
-      throw WorkerKilledError(worker, epoch_);
+                    util::kv("epoch", epoch)});
+      throw WorkerKilledError(worker, epoch);
     }
   }
 }
@@ -73,19 +78,26 @@ double FaultInjector::stall_factor(std::uint32_t worker,
 }
 
 void FaultInjector::begin_push(std::uint32_t worker, std::uint32_t chunk) {
-  push_armed_ = true;
-  push_worker_ = worker;
-  push_chunk_ = chunk;
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_chunks_[worker] = chunk;
 }
 
-void FaultInjector::end_push() { push_armed_ = false; }
+void FaultInjector::end_push(std::uint32_t worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_chunks_.erase(worker);
+}
 
-void FaultInjector::tap_wire(std::span<std::byte> wire) {
-  if (!push_armed_ || wire.empty()) return;
+void FaultInjector::tap_wire(std::span<std::byte> wire, std::uint32_t worker) {
+  if (plan_.events.empty() || wire.empty()) return;
+  const std::uint32_t epoch = current_epoch();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto armed = armed_chunks_.find(worker);
+  if (armed == armed_chunks_.end()) return;
+  const std::uint32_t chunk = armed->second;
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& e = plan_.events[i];
-    if (e.kind != FaultKind::kCorrupt || e.worker != push_worker_ ||
-        e.epoch != epoch_ || e.chunk != push_chunk_ ||
+    if (e.kind != FaultKind::kCorrupt || e.worker != worker ||
+        e.epoch != epoch || e.chunk != chunk ||
         corrupt_spent_[i] >= e.count) {
       continue;
     }
@@ -103,8 +115,8 @@ void FaultInjector::tap_wire(std::span<std::byte> wire) {
     ++corrupt_spent_[i];
     count_injection();
     util::log_kv(util::LogLevel::kWarn, "fault_injected",
-                 {util::kv("kind", "corrupt"), util::kv("worker", push_worker_),
-                  util::kv("epoch", epoch_), util::kv("chunk", push_chunk_),
+                 {util::kv("kind", "corrupt"), util::kv("worker", worker),
+                  util::kv("epoch", epoch), util::kv("chunk", chunk),
                   util::kv("attempt", corrupt_spent_[i])});
   }
 }

@@ -118,6 +118,7 @@ FaultRuntime::FaultRuntime(const FaultOptions& options)
     : options_(options), injector_(options.plan) {}
 
 void FaultRuntime::count_retry() {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++retries_;
   if (retries_counter_ == nullptr) {
     retries_counter_ = &obs::registry().counter("fault.retries");
@@ -126,6 +127,7 @@ void FaultRuntime::count_retry() {
 }
 
 void FaultRuntime::count_checksum_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++checksum_failures_;
   if (checksum_counter_ == nullptr) {
     checksum_counter_ = &obs::registry().counter("fault.checksum_failures");
@@ -134,6 +136,7 @@ void FaultRuntime::count_checksum_failure() {
 }
 
 void FaultRuntime::count_recovery(double wall_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++recoveries_;
   recovery_wall_s_ += wall_s;
   if (recoveries_counter_ == nullptr) {
@@ -145,6 +148,7 @@ void FaultRuntime::count_recovery(double wall_s) {
 }
 
 void FaultRuntime::count_rollback() {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++rollbacks_;
   if (rollbacks_counter_ == nullptr) {
     rollbacks_counter_ = &obs::registry().counter("fault.divergence_rollbacks");
@@ -153,6 +157,7 @@ void FaultRuntime::count_rollback() {
 }
 
 void FaultRuntime::count_stragglers(std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (n == 0) return;
   stragglers_ += n;
   if (stragglers_counter_ == nullptr) {

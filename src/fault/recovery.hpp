@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "data/rating_matrix.hpp"
@@ -54,6 +55,9 @@ class FaultRuntime {
   FaultInjector& injector() noexcept { return injector_; }
 
   // Tally + lazily-created obs counter, one per observable event class.
+  // Mutex-guarded: retry/checksum events fire from concurrent worker
+  // threads under the parallel executor.  The readers below are called
+  // from the training loop only after the epoch barrier (quiesced).
   void count_retry();
   void count_checksum_failure();
   void count_recovery(double wall_s);
@@ -72,6 +76,7 @@ class FaultRuntime {
  private:
   FaultOptions options_;
   FaultInjector injector_;
+  mutable std::mutex mutex_;
   std::uint64_t retries_ = 0;
   std::uint64_t checksum_failures_ = 0;
   std::uint64_t recoveries_ = 0;

@@ -33,6 +33,28 @@ TEST(RatingMatrix, EmptyDensityIsZero) {
   EXPECT_DOUBLE_EQ(RatingMatrix(10, 10).density(), 0.0);
 }
 
+TEST(RatingMatrix, AppendBulkMatchesRepeatedAdd) {
+  RatingMatrix bulk(4, 3);
+  RatingMatrix one_by_one(4, 3);
+  const std::vector<Rating> extra = {
+      {0, 1, 2.5f}, {3, 0, 4.5f}, {1, 1, 1.0f}};
+  bulk.add(2, 2, 3.0f);
+  one_by_one.add(2, 2, 3.0f);
+  bulk.append(extra);
+  for (const Rating& r : extra) one_by_one.add(r.u, r.i, r.r);
+  ASSERT_EQ(bulk.nnz(), one_by_one.nnz());
+  const auto a = bulk.entries();
+  const auto b = one_by_one.entries();
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a[j].u, b[j].u);
+    EXPECT_EQ(a[j].i, b[j].i);
+    EXPECT_EQ(a[j].r, b[j].r);
+  }
+  // Appending nothing is a no-op.
+  bulk.append({});
+  EXPECT_EQ(bulk.nnz(), one_by_one.nnz());
+}
+
 TEST(RatingMatrix, SortByRowOrdersEntries) {
   RatingMatrix m = small_matrix();
   m.sort_by_row();

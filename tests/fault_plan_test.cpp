@@ -115,8 +115,8 @@ TEST(FaultInjector, WireCorruptionIsDeterministicAndBounded) {
     injector.begin_epoch(0);
     std::vector<std::byte> wire(64, std::byte{0});
     injector.begin_push(0, 0);
-    injector.tap_wire(wire);
-    injector.end_push();
+    injector.tap_wire(wire, 0);
+    injector.end_push(0);
     return wire;
   };
   const auto a = run_once(7);
@@ -132,13 +132,13 @@ TEST(FaultInjector, WireCorruptionIsDeterministicAndBounded) {
   injector.begin_epoch(0);
   std::vector<std::byte> wire(64, std::byte{0});
   injector.begin_push(0, 0);
-  injector.tap_wire(wire);
-  injector.end_push();
+  injector.tap_wire(wire, 0);
+  injector.end_push(0);
   EXPECT_NE(wire, std::vector<std::byte>(64, std::byte{0}));
   std::vector<std::byte> retry(64, std::byte{0});
   injector.begin_push(0, 0);
-  injector.tap_wire(retry);
-  injector.end_push();
+  injector.tap_wire(retry, 0);
+  injector.end_push(0);
   EXPECT_EQ(retry, std::vector<std::byte>(64, std::byte{0}));
 }
 
@@ -148,8 +148,8 @@ TEST(FaultInjector, CorruptionTripsWireChecksum) {
   FaultInjector injector(FaultPlan::parse("corrupt:w0@e0"));
   injector.begin_epoch(0);
   injector.begin_push(0, 0);
-  injector.tap_wire(wire);
-  injector.end_push();
+  injector.tap_wire(wire, 0);
+  injector.end_push(0);
   EXPECT_NE(comm::wire_checksum(wire), before);
 }
 
