@@ -11,6 +11,7 @@
 #include "comm/codec.hpp"
 #include "data/datasets.hpp"
 #include "data/grid.hpp"
+#include "legacy_kernels.hpp"
 #include "mf/kernels.hpp"
 #include "mf/model.hpp"
 #include "util/fp16.hpp"
@@ -45,8 +46,8 @@ void BM_SgdUpdateX4(benchmark::State& state) {
   for (auto& v : q) v = static_cast<float>(rng.uniform());
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        mf::sgd_update_x4(p.data(), q.data(), k, 4.0f, 0.005f, 0.01f,
-                          0.01f));
+        bench::sgd_update_x4(p.data(), q.data(), k, 4.0f, 0.005f, 0.01f,
+                             0.01f));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -1,0 +1,47 @@
+// Legacy manually unrolled SGD kernels — benchmark baselines only.
+//
+// These are the pre-SIMD-backend 4-wide variants the dispatched kernels
+// are measured against (the portable auto-vectorization baseline).  They
+// require k % 4 == 0 and live here, outside src/, so product code cannot
+// call the divisibility-restricted paths by accident; the dispatched
+// kernels in mf/kernels.hpp handle every k.
+#pragma once
+
+#include <cstdint>
+
+namespace hcc::bench {
+
+/// Dot product, 4-wide unrolled (k % 4 == 0 required).
+inline float dot4(const float* a, const float* b, std::uint32_t k) noexcept {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  for (std::uint32_t f = 0; f < k; f += 4) {
+    s0 += a[f + 0] * b[f + 0];
+    s1 += a[f + 1] * b[f + 1];
+    s2 += a[f + 2] * b[f + 2];
+    s3 += a[f + 3] * b[f + 3];
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// SGD update with 4-wide unrolled loops (k % 4 == 0 required).  Same
+/// recurrence as mf::sgd_update; the four independent accumulators let the
+/// compiler emit packed FMA without a reduction dependency chain.
+inline float sgd_update_x4(float* p, float* q, std::uint32_t k, float r,
+                           float lr, float reg_p, float reg_q) noexcept {
+  const float err = r - dot4(p, q, k);
+  for (std::uint32_t f = 0; f < k; f += 4) {
+    const float p0 = p[f + 0], p1 = p[f + 1], p2 = p[f + 2], p3 = p[f + 3];
+    const float q0 = q[f + 0], q1 = q[f + 1], q2 = q[f + 2], q3 = q[f + 3];
+    p[f + 0] = p0 + lr * (err * q0 - reg_p * p0);
+    p[f + 1] = p1 + lr * (err * q1 - reg_p * p1);
+    p[f + 2] = p2 + lr * (err * q2 - reg_p * p2);
+    p[f + 3] = p3 + lr * (err * q3 - reg_p * p3);
+    q[f + 0] = q0 + lr * (err * p0 - reg_q * q0);
+    q[f + 1] = q1 + lr * (err * p1 - reg_q * q1);
+    q[f + 2] = q2 + lr * (err * p2 - reg_q * q2);
+    q[f + 3] = q3 + lr * (err * p3 - reg_q * q3);
+  }
+  return err;
+}
+
+}  // namespace hcc::bench

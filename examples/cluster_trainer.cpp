@@ -8,9 +8,14 @@
 // thread against a striped global server (the functional analogue of real
 // cluster nodes working concurrently; see docs/parallel_execution.md).
 //
+// --schedule/--tile-kb pick each node's visit order over its slice (see
+// docs/locality.md); --pin pins the parallel executor's node threads
+// round-robin across CPUs.
+//
 //   ./cluster_trainer [--nodes=3] [--scale=0.002] [--epochs=8]
 //                     [--local_epochs=1] [--network=100g|10g|ib]
 //                     [--exec-mode=serial|parallel] [--stripes=N]
+//                     [--schedule=asis|shuffled|tiled] [--tile-kb=KB] [--pin]
 //                     [--trace-out=trace.json] [--metrics-out=metrics.json]
 #include <iostream>
 
@@ -56,6 +61,11 @@ int main(int argc, char** argv) {
       core::parse_exec_mode(cli.get("exec-mode", std::string("serial")));
   config.exec.stripes =
       static_cast<std::uint32_t>(cli.get("stripes", std::int64_t{0}));
+  config.exec.pin_threads = cli.get("pin", false);
+  config.schedule.policy =
+      data::parse_schedule(cli.get("schedule", std::string("asis")));
+  config.schedule.tile_kb = static_cast<std::uint32_t>(
+      cli.get("tile-kb", std::int64_t{config.schedule.tile_kb}));
   for (auto& node : config.cluster.nodes) {
     for (auto& w : node.platform.workers) w.epoch_overhead_s = 0.0;
   }

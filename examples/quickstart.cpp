@@ -17,10 +17,18 @@
 // "parallel" (per-worker pipeline threads against a striped server merge;
 // --stripes overrides the auto stripe count).
 //
+// --schedule picks each worker's visit order over its rating slice (see
+// docs/locality.md): "asis" (default, bit-identical legacy order),
+// "shuffled" (seeded per-epoch permutation) or "tiled" (cache-sized 2-D
+// blocks; --tile-kb sets the per-tile working-set budget).  --pin pins the
+// parallel executor's worker threads round-robin across CPUs (NUMA
+// first-touch placement).
+//
 //   ./quickstart [--scale=0.002] [--epochs=10] [--k=16] [--verbose]
 //                [--trace-out=trace.json] [--metrics-out=metrics.json]
 //                [--fault-plan=SPEC] [--checkpoint-dir=DIR]
 //                [--exec-mode=serial|parallel] [--stripes=N]
+//                [--schedule=asis|shuffled|tiled] [--tile-kb=KB] [--pin]
 #include <cstdio>
 #include <iostream>
 
@@ -86,6 +94,14 @@ int main(int argc, char** argv) {
       core::parse_exec_mode(cli.get("exec-mode", std::string("serial")));
   config.exec.stripes =
       static_cast<std::uint32_t>(cli.get("stripes", std::int64_t{0}));
+  config.exec.pin_threads = cli.get("pin", false);
+
+  // Cache-aware rating schedule (docs/locality.md): visit order over each
+  // worker's slice, and the tile working-set budget under "tiled".
+  config.schedule.policy =
+      data::parse_schedule(cli.get("schedule", std::string("asis")));
+  config.schedule.tile_kb = static_cast<std::uint32_t>(
+      cli.get("tile-kb", std::int64_t{config.schedule.tile_kb}));
 
   // 3. Train.
   core::HccMf framework(config);

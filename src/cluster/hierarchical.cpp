@@ -11,6 +11,7 @@
 #include "core/worker.hpp"
 #include "data/grid.hpp"
 #include "mf/metrics.hpp"
+#include "obs/metrics.hpp"
 
 namespace hcc::cluster {
 
@@ -167,6 +168,7 @@ ClusterReport HierarchicalHcc::train(const data::RatingMatrix& train_ratings,
     nodes.back().set_item_weights(std::move(weights));
     nodes.back().set_exec(config_.exec.mode == core::ExecMode::kParallel,
                           config_.exec.double_buffer);
+    nodes.back().set_schedule(config_.schedule, config_.sgd.k);
   }
 
   std::unique_ptr<util::ThreadPool> pool;
@@ -182,12 +184,18 @@ ClusterReport HierarchicalHcc::train(const data::RatingMatrix& train_ratings,
   core::EpochExecutor executor(config_.exec, nodes.size());
   const std::vector<bool> all_alive(nodes.size(), true);
 
+  obs::registry().gauge("sched.policy").set(
+      static_cast<double>(static_cast<int>(config_.schedule.policy)));
+  obs::registry().gauge("sched.tile_kb").set(
+      static_cast<double>(config_.schedule.tile_kb));
+
   float lr = config_.sgd.learn_rate;
   for (std::uint32_t epoch = 0; epoch < config_.sgd.epochs; ++epoch) {
     // One node's global epoch: pull, `local_epochs` full passes over the
     // node's slice between global syncs (the staleness/communication
     // trade-off knob), push.
     auto node_pipeline = [&](core::TrainWorker& node) {
+      node.prepare_epoch();
       node.pull(global_server);
       for (std::uint32_t le = 0; le < config_.local_epochs; ++le) {
         node.compute_chunk(global_server, 0, lr, config_.sgd.reg_p,
@@ -202,6 +210,7 @@ ClusterReport HierarchicalHcc::train(const data::RatingMatrix& train_ratings,
                             [&](std::size_t n) { node_pipeline(nodes[n]); });
     } else {
       // Legacy order: all pulls, all local trainings, all pushes.
+      for (auto& node : nodes) node.prepare_epoch();
       for (auto& node : nodes) node.pull(global_server);
       for (auto& node : nodes) {
         for (std::uint32_t le = 0; le < config_.local_epochs; ++le) {
@@ -212,6 +221,19 @@ ClusterReport HierarchicalHcc::train(const data::RatingMatrix& train_ratings,
       for (auto& node : nodes) node.push(global_server);
     }
     lr *= config_.sgd.lr_decay;
+
+    if (config_.schedule.policy != data::SchedulePolicy::kAsIs) {
+      // Harvested on the coordinator thread after the barrier (same rule
+      // as HccMf): never read ScheduleStats from the node threads.
+      double tiles = 0.0;
+      double reorder_ms = 0.0;
+      for (const auto& node : nodes) {
+        tiles += static_cast<double>(node.schedule_stats().tiles);
+        reorder_ms += node.schedule_stats().reorder_ms;
+      }
+      obs::registry().gauge("sched.tiles").set(tiles);
+      obs::registry().gauge("sched.reorder_ms").set(reorder_ms);
+    }
 
     const GlobalEpochTiming& t =
         (epoch + 1 == config_.sgd.epochs) ? last_t : mid;

@@ -42,6 +42,9 @@ struct HierarchicalConfig {
   /// its own thread against a striped global server — the closest
   /// functional analogue of real cluster nodes working concurrently.
   core::ExecOptions exec;
+  /// Cache-aware visit order for each node's slice (see data/schedule.hpp);
+  /// kAsIs (default) keeps the legacy bit-identical trajectory.
+  data::ScheduleOptions schedule;
 };
 
 /// Per-global-epoch timing decomposition.

@@ -6,6 +6,8 @@
 #include "core/server.hpp"
 #include "core/worker.hpp"
 #include "fault/errors.hpp"
+#include "obs/metrics.hpp"
+#include "util/affinity.hpp"
 
 namespace hcc::core {
 
@@ -72,6 +74,13 @@ void EpochExecutor::start_threads() {
 }
 
 void EpochExecutor::thread_loop(std::size_t index) {
+  if (options_.pin_threads &&
+      util::pin_current_thread(static_cast<unsigned>(index))) {
+    // Pin before the first barrier: every buffer the worker lazily sizes
+    // (ensure_buffers at its first pull) is then first-touched — hence
+    // NUMA-placed — on the CPU it will run on for the whole training.
+    obs::registry().counter("sched.pinned_threads").add(1);
+  }
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t)>* fn = nullptr;
@@ -157,7 +166,8 @@ void EpochExecutor::run_epoch(std::vector<TrainWorker>& workers,
     // order (and thus float arithmetic order) is exactly the pre-executor
     // trajectory — the determinism contract behind kSerial.
     std::uint32_t max_streams = 1;
-    for (const auto& w : workers) {
+    for (auto& w : workers) {
+      if (alive[w.id()]) w.prepare_epoch();
       max_streams = std::max(max_streams, w.streams());
     }
     for (std::uint32_t chunk = 0; chunk < max_streams; ++chunk) {
@@ -176,6 +186,9 @@ void EpochExecutor::run_epoch(std::vector<TrainWorker>& workers,
     return;
   }
   run_parallel(alive, [&](std::size_t i) {
+    // The reorder runs on the worker's own (possibly pinned) thread so the
+    // permuted entries are first-touched where they will be streamed.
+    workers[i].prepare_epoch();
     workers[i].run_pipeline(server, lr, reg_p, reg_q, pool);
   });
 }

@@ -61,6 +61,12 @@ struct ExecOptions {
   /// pull (on a prefetch thread) overlaps chunk c's compute.  Only takes
   /// effect for workers with pipeline depth >= 2.
   bool double_buffer = true;
+  /// Pin each worker's pipeline thread to a CPU (round-robin over the
+  /// online set) under kParallel.  With pinning on, the worker's lazily
+  /// sized buffers are first-touched on the thread that will stream them
+  /// every epoch — on a NUMA host that keeps local Q, the snapshot and the
+  /// staging buffers on the worker's own node (see util/affinity.hpp).
+  bool pin_threads = false;
 };
 
 /// "serial" / "parallel" (CLI + logging).

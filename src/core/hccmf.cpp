@@ -106,6 +106,11 @@ std::vector<ConfigError> HccMfConfig::validate() const {
     reject(ConfigErrorCode::kZeroCheckpointCadence,
            "fault.checkpoint_every is 0");
   }
+  if (schedule.policy == data::SchedulePolicy::kTiled &&
+      schedule.tile_kb == 0) {
+    reject(ConfigErrorCode::kBadTileKb,
+           "schedule.tile_kb must be > 0 under the tiled schedule");
+  }
   return errors;
 }
 
@@ -282,9 +287,14 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
                          std::move(slices[i]), config_.comm, streams);
     workers.back().set_fault_runtime(&fault_rt);
     workers.back().set_exec(parallel, config_.exec.double_buffer);
+    workers.back().set_schedule(config_.schedule, config_.sgd.k);
   }
   obs::registry().gauge("exec.mode").set(parallel ? 1.0 : 0.0);
   obs::registry().gauge("exec.stripes").set(static_cast<double>(stripes));
+  obs::registry().gauge("sched.policy").set(
+      static_cast<double>(static_cast<int>(config_.schedule.policy)));
+  obs::registry().gauge("sched.tile_kb").set(
+      static_cast<double>(config_.schedule.tile_kb));
 
   std::vector<bool> alive(workers.size(), true);
 
@@ -330,6 +340,7 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
 
   float lr = config_.sgd.learn_rate;
   double prev_sync_s = 0.0;
+  double sched_reorder_ms_total = 0.0;  ///< cumulative across epochs
 
   // Checkpoints back both the divergence guard and worker-death recovery.
   // The copy happens outside the instrumented phase spans, so fault-free
@@ -377,9 +388,28 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
       EpochReport& er = report.epochs[epoch];
       er.measured.workers.assign(workers.size(), {});
       std::vector<obs::PhaseTimes> measured(workers.size());
+      // Schedule observability, aggregated on this (main) thread so the
+      // gauges see no concurrent read-modify-write: occupied tiles across
+      // workers, cumulative reorder cost, and the effective bandwidth each
+      // worker sustained — Eq. 2's B_i solved from the measured compute
+      // time (the quantity the cache-aware schedule exists to raise).
+      double sched_tiles = 0.0;
+      double max_gbps = 0.0;
       for (std::size_t w = 0; w < workers.size(); ++w) {
         const obs::PhaseTimes t = workers[w].take_measured();
         measured[w] = t;
+        if (alive[w] && t.compute_s > 0.0) {
+          const double bytes = static_cast<double>(workers[w].assigned_nnz()) *
+                               (16.0 * shape.k + 4.0);
+          const double gbps = bytes / t.compute_s / 1e9;
+          obs::registry()
+              .gauge("worker" + std::to_string(w) + ".effective_gbps")
+              .set(gbps);
+          max_gbps = std::max(max_gbps, gbps);
+        }
+        const data::ScheduleStats& ss = workers[w].schedule_stats();
+        sched_tiles += static_cast<double>(ss.tiles);
+        sched_reorder_ms_total += ss.reorder_ms;
         er.measured.workers[w].pull_s = t.pull_s;
         er.measured.workers[w].compute_s = t.compute_s;
         er.measured.workers[w].push_s = t.push_s;
@@ -392,6 +422,9 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
                       util::kv("push_s", t.push_s),
                       util::kv("sync_s", t.sync_s)});
       }
+      obs::registry().gauge("sched.tiles").set(sched_tiles);
+      obs::registry().gauge("sched.reorder_ms").set(sched_reorder_ms_total);
+      obs::registry().gauge("sched.effective_gbps").set(max_gbps);
       er.measured.server_busy_s = server.measured_sync_s() - prev_sync_s;
       prev_sync_s = server.measured_sync_s();
       er.measured.epoch_s = epoch_span.stop();

@@ -25,6 +25,7 @@
 #include "core/server.hpp"
 #include "core/worker.hpp"
 #include "data/datasets.hpp"
+#include "data/schedule.hpp"
 #include "fault/plan.hpp"
 #include "mf/model.hpp"
 #include "obs/drift.hpp"
@@ -45,6 +46,7 @@ enum class ConfigErrorCode {
   kBadDeadlineFactor,
   kBadBackoff,
   kZeroCheckpointCadence,
+  kBadTileKb,
 };
 
 struct ConfigError {
@@ -70,6 +72,10 @@ struct HccMfConfig {
   /// deterministic single-thread trajectory; kParallel runs each worker's
   /// pipeline on its own thread against a striped server.
   ExecOptions exec;
+  /// Cache-aware visit order for each worker's slice (see
+  /// data/schedule.hpp): kAsIs (default) is a guaranteed no-op keeping the
+  /// legacy bit-identical trajectory; kShuffled/kTiled reorder per epoch.
+  data::ScheduleOptions schedule;
   /// Evaluate test RMSE after every epoch (functional runs only).
   bool evaluate_each_epoch = true;
 

@@ -54,6 +54,28 @@ void TrainWorker::set_exec(bool parallel, bool double_buffer) {
   double_buffer_ = parallel && double_buffer && streams_ >= 2;
 }
 
+void TrainWorker::set_schedule(const data::ScheduleOptions& options,
+                               std::uint32_t k) {
+  data::ScheduleOptions mixed = options;
+  // Decorrelate workers: identical base seeds must not make every worker
+  // visit its tiles in the same global order (that would re-synchronize
+  // the server merge traffic the schedule is trying to spread out).
+  mixed.seed ^= 0x9e3779b97f4a7c15ULL * (std::uint64_t(id_) + 1);
+  scheduler_ = data::RatingScheduler(mixed, k);
+  sched_epoch_ = 0;
+  sched_stats_ = {};
+}
+
+void TrainWorker::prepare_epoch() {
+  const std::uint32_t epoch = sched_epoch_++;
+  if (scheduler_.options().policy == data::SchedulePolicy::kAsIs) {
+    return;  // bit-identical contract: never touch the slice
+  }
+  obs::ScopedSpan span("schedule", obs::kPhaseCategory, track_of(id_));
+  span.arg("epoch", std::to_string(epoch));
+  sched_stats_ = scheduler_.prepare(slice_, epoch);
+}
+
 void TrainWorker::set_fault_runtime(fault::FaultRuntime* runtime) {
   fault_ = runtime;
   if (runtime != nullptr && runtime->active()) {
@@ -264,8 +286,16 @@ void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
   const std::size_t lo = std::min(entries.size(), chunk * per_chunk);
   const std::size_t hi = std::min(entries.size(), lo + per_chunk);
 
+  // Hint a few updates ahead: far enough that the lines arrive before the
+  // demand load, near enough that they are not evicted again first.
+  constexpr std::size_t kPrefetchAhead = 4;
   auto body = [&](std::size_t begin, std::size_t end) {
     for (std::size_t idx = begin; idx < end; ++idx) {
+      if (idx + kPrefetchAhead < end) {
+        const auto& f = entries[idx + kPrefetchAhead];
+        mf::sgd_prefetch_rows(model.p(f.u), &local_q_[std::size_t(f.i) * k],
+                              k);
+      }
       const auto& e = entries[idx];
       // P row: exclusive to this worker (row grid) -> global in place.
       // Q row: private local copy, merged at push.

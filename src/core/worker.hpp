@@ -25,6 +25,7 @@
 #include "comm/strategy.hpp"
 #include "core/server.hpp"
 #include "data/rating_matrix.hpp"
+#include "data/schedule.hpp"
 #include "fault/recovery.hpp"
 #include "obs/drift.hpp"
 #include "util/aligned.hpp"
@@ -63,6 +64,25 @@ class TrainWorker {
   /// the merge skips untouched stripes; `double_buffer` additionally
   /// overlaps chunk c+1's pull with chunk c's compute (streams >= 2 only).
   void set_exec(bool parallel, bool double_buffer);
+
+  /// Arms the cache-aware rating scheduler (data/schedule.hpp).  `k` is the
+  /// factor rank (sets the tile working-set size).  The worker id is mixed
+  /// into the seed so workers do not reorder in lockstep.  Default-armed
+  /// with kAsIs, which keeps prepare_epoch() a guaranteed no-op.
+  void set_schedule(const data::ScheduleOptions& options, std::uint32_t k);
+
+  /// Reorders this worker's slice for the upcoming epoch (internal epoch
+  /// counter).  Must run before the epoch's first compute: on the worker's
+  /// own pipeline thread under the concurrent executor (first-touch keeps
+  /// the reordered entries NUMA-local), or on the driver thread in serial
+  /// mode.  kAsIs leaves the slice bit-identical and records nothing.
+  void prepare_epoch();
+
+  /// What the last prepare_epoch() did (tiles, spans, reorder wall time).
+  /// Read it between epochs (from the harvest loop), never mid-pipeline.
+  const data::ScheduleStats& schedule_stats() const noexcept {
+    return sched_stats_;
+  }
 
   /// Pulls the global Q through this worker's COMM channel (one wire copy)
   /// and snapshots it for the later delta merge.
@@ -209,6 +229,9 @@ class TrainWorker {
   std::vector<float> item_weights_;
   fault::FaultRuntime* fault_ = nullptr;
   double stall_factor_ = 1.0;
+  data::RatingScheduler scheduler_;    ///< kAsIs by default (no-op)
+  std::uint32_t sched_epoch_ = 0;      ///< epochs prepared so far
+  data::ScheduleStats sched_stats_;    ///< last prepare_epoch() result
   std::uint32_t last_chunk_ = 0;  ///< chunk index the pending push covers
   std::unique_ptr<comm::CommBackend> backend_;
   /// 64-byte-aligned: the SGD inner loop streams over these Q rows.

@@ -37,6 +37,24 @@ void RatingMatrix::append(std::span<const Rating> entries) {
 
 void RatingMatrix::shuffle(util::Rng& rng) { util::shuffle(entries_, rng); }
 
+void RatingMatrix::permute(std::span<const std::uint32_t> perm) {
+  assert(perm.size() == entries_.size());
+#ifndef NDEBUG
+  {
+    std::vector<bool> seen(perm.size(), false);
+    for (const std::uint32_t src : perm) {
+      assert(src < entries_.size() && !seen[src] &&
+             "permute() requires a permutation of [0, nnz)");
+      seen[src] = true;
+    }
+  }
+#endif
+  std::vector<Rating> reordered;
+  reordered.reserve(entries_.size());
+  for (const std::uint32_t src : perm) reordered.push_back(entries_[src]);
+  entries_ = std::move(reordered);
+}
+
 void RatingMatrix::sort_by_row() {
   std::stable_sort(entries_.begin(), entries_.end(),
                    [](const Rating& a, const Rating& b) {

@@ -59,6 +59,12 @@ class RatingMatrix {
   /// Randomizes visit order (step 1 of the paper's preprocessing).
   void shuffle(util::Rng& rng);
 
+  /// Reorders entries by an arbitrary permutation of [0, nnz):
+  /// new_entries[j] = old_entries[perm[j]].  The rating scheduler
+  /// (data/schedule.hpp) visits through this; `perm` must be a valid
+  /// permutation (checked with asserts in debug builds).
+  void permute(std::span<const std::uint32_t> perm);
+
   /// Stable-sorts entries by row then column; improves cache hit rate for
   /// row-major factor access (the paper's CuMF_SGD modification iii).
   void sort_by_row();

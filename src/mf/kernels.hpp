@@ -4,11 +4,13 @@
 // (SSE/AVX/AVX512F) for a 1.8-2.3x speedup.  sgd_update_dispatch delivers
 // that through the runtime-dispatched SIMD backend (src/simd/): one
 // cpuid-resolved kernel table (AVX2+FMA, AVX-512F, NEON, scalar fallback)
-// whose kernels handle every rank k, remainder tails included.  The 4-wide
-// manually unrolled variant remains as the portable auto-vectorization
-// baseline the benchmarks compare against.  All variants compute the same
-// recurrence; floating-point results can differ only by reassociation
-// (tests bound the divergence).
+// whose kernels handle every rank k, remainder tails included.  All
+// variants compute the same recurrence; floating-point results can differ
+// only by reassociation (tests bound the divergence).
+//
+// The old k % 4 == 0 manually unrolled variants (dot4, sgd_update_x4) are
+// benchmark baselines only and live in bench/legacy_kernels.hpp, where
+// product code cannot reach their divisibility restriction by accident.
 #pragma once
 
 #include <cmath>
@@ -18,6 +20,7 @@
 
 #include "mf/model.hpp"
 #include "simd/dispatch.hpp"
+#include "simd/prefetch.hpp"
 
 namespace hcc::mf {
 
@@ -32,37 +35,14 @@ inline bool all_finite(std::span<const float> values) noexcept {
   return simd::kernels().all_finite(values.data(), values.size());
 }
 
-/// Dot product, 4-wide unrolled (k % 4 == 0 required).
-inline float dot4(const float* a, const float* b, std::uint32_t k) noexcept {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  for (std::uint32_t f = 0; f < k; f += 4) {
-    s0 += a[f + 0] * b[f + 0];
-    s1 += a[f + 1] * b[f + 1];
-    s2 += a[f + 2] * b[f + 2];
-    s3 += a[f + 3] * b[f + 3];
-  }
-  return (s0 + s1) + (s2 + s3);
-}
-
-/// SGD update with 4-wide unrolled loops (k % 4 == 0 required).  Same
-/// recurrence as sgd_update; the four independent accumulators let the
-/// compiler emit packed FMA without a reduction dependency chain.
-inline float sgd_update_x4(float* p, float* q, std::uint32_t k, float r,
-                           float lr, float reg_p, float reg_q) noexcept {
-  const float err = r - dot4(p, q, k);
-  for (std::uint32_t f = 0; f < k; f += 4) {
-    const float p0 = p[f + 0], p1 = p[f + 1], p2 = p[f + 2], p3 = p[f + 3];
-    const float q0 = q[f + 0], q1 = q[f + 1], q2 = q[f + 2], q3 = q[f + 3];
-    p[f + 0] = p0 + lr * (err * q0 - reg_p * p0);
-    p[f + 1] = p1 + lr * (err * q1 - reg_p * p1);
-    p[f + 2] = p2 + lr * (err * q2 - reg_p * p2);
-    p[f + 3] = p3 + lr * (err * q3 - reg_p * p3);
-    q[f + 0] = q0 + lr * (err * p0 - reg_q * q0);
-    q[f + 1] = q1 + lr * (err * p1 - reg_q * q1);
-    q[f + 2] = q2 + lr * (err * p2 - reg_q * q2);
-    q[f + 3] = q3 + lr * (err * p3 - reg_q * q3);
-  }
-  return err;
+/// Prefetch hint for an upcoming rating's factor rows: issued one update
+/// ahead by the ASGD inner loop so the next P/Q rows arrive while the
+/// current update's FMA chain drains.  A hint only — results, and the
+/// kAsIs bit-identical contract, are unaffected.
+inline void sgd_prefetch_rows(const float* p, const float* q,
+                              std::uint32_t k) noexcept {
+  simd::prefetch_row(p, k);
+  simd::prefetch_row(q, k);
 }
 
 /// One SGD step through the runtime-dispatched SIMD backend.  Every k takes

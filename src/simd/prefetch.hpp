@@ -1,0 +1,44 @@
+// Software prefetch hints for the SGD inner loop.
+//
+// Eq. 2's 16k+4 bytes per rating are dominated by the P and Q row reads;
+// once the rating scheduler (data/schedule.hpp) makes the *next* rating's
+// rows predictable, hinting them one update ahead hides the remaining
+// L2/L3 latency behind the current update's FMA chain.  Hints only: no
+// fault, no side effect on results, a nop where unsupported — so the
+// kAsIs bit-identical contract is unaffected.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__SSE2__) || defined(__SSE__)
+#include <xmmintrin.h>
+#define HCCMF_PREFETCH_SSE 1
+#endif
+
+namespace hcc::simd {
+
+/// Hints one cache line into all levels (read intent).
+inline void prefetch_line(const void* addr) noexcept {
+#if defined(HCCMF_PREFETCH_SSE)
+  _mm_prefetch(static_cast<const char*>(addr), _MM_HINT_T0);
+#elif defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, 0, 3);
+#else
+  (void)addr;
+#endif
+}
+
+/// Hints the leading cache lines of a k-float factor row.  Capped at four
+/// lines (64 floats): that is enough to start the hardware stream
+/// prefetcher, which follows the row the moment the first demand load
+/// confirms the stream.
+inline void prefetch_row(const float* row, std::uint32_t k) noexcept {
+  constexpr std::uint32_t kFloatsPerLine = 64 / sizeof(float);
+  const std::uint32_t floats =
+      k < 4 * kFloatsPerLine ? k : 4 * kFloatsPerLine;
+  for (std::uint32_t f = 0; f < floats; f += kFloatsPerLine) {
+    prefetch_line(row + f);
+  }
+}
+
+}  // namespace hcc::simd

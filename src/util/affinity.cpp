@@ -1,0 +1,29 @@
+#include "util/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace hcc::util {
+
+unsigned cpu_count() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 1;
+}
+
+bool pin_current_thread(unsigned cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % cpu_count(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace hcc::util

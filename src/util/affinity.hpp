@@ -1,0 +1,24 @@
+// Thread-to-CPU affinity for the concurrent executor's pipeline threads.
+//
+// With ExecOptions::pin_threads on, each worker's pipeline thread is pinned
+// round-robin to a CPU before it touches any of the worker's buffers.
+// Combined with lazy (first-touch) buffer sizing — TrainWorker allocates
+// its local Q / staging buffers on the first pull, which under kParallel
+// runs on the pipeline thread itself — this keeps each worker's P chunk and
+// staging memory on the NUMA node of the core that streams over it, and
+// stops the OS from migrating a pipeline mid-epoch and cold-starting its
+// L2.  Best effort by design: on platforms without an affinity API the
+// calls report failure and training proceeds unpinned.
+#pragma once
+
+namespace hcc::util {
+
+/// Number of CPUs the process can run on (>= 1; hardware_concurrency with
+/// a safe fallback).
+unsigned cpu_count() noexcept;
+
+/// Pins the calling thread to CPU `cpu % cpu_count()`.  Returns true on
+/// success, false when pinning is unsupported or rejected by the OS.
+bool pin_current_thread(unsigned cpu) noexcept;
+
+}  // namespace hcc::util

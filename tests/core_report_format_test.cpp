@@ -1,9 +1,13 @@
-// Tests for the report formatter.
+// Tests for the report formatter and the shared bench JSON report schema.
 #include "core/report_format.hpp"
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <limits>
+#include <sstream>
+
+#include "bench_common.hpp"
 
 namespace hcc::core {
 namespace {
@@ -66,6 +70,43 @@ TEST(FormatEpochTable, StrideSubsamplesButKeepsLastEpoch) {
 TEST(FormatEpochTable, DashesForUnevaluatedEpochs) {
   const std::string s = format_epoch_table(sample_report(false));
   EXPECT_NE(s.find("-"), std::string::npos);
+}
+
+// Every bench binary's --json-out document carries the schema version and
+// the locality configuration (schedule policy, tile budget, pinning) parsed
+// from the same argv, so BENCH_*.json files are comparable across runs.
+TEST(JsonReportSchema, StampsScheduleMetaFromArgv) {
+  const std::string path = ::testing::TempDir() + "bench_schema_probe.json";
+  const char* argv[] = {"bench",      "--json-out", path.c_str(),
+                        "--schedule", "tiled",      "--tile-kb",
+                        "512",        "--pin"};
+  {
+    hcc::bench::JsonReport report(8, argv, "schema_probe");
+  }  // destructor writes the document
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"schema\":2"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"schedule\":\"tiled\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"tile_kb\":512"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"pin\":1"), std::string::npos) << doc;
+}
+
+TEST(JsonReportSchema, DefaultsToAsIsUnpinned) {
+  const std::string path = ::testing::TempDir() + "bench_schema_default.json";
+  const char* argv[] = {"bench", "--json-out", path.c_str()};
+  {
+    hcc::bench::JsonReport report(3, argv, "schema_probe");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"schedule\":\"asis\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"pin\":0"), std::string::npos) << doc;
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // never crash a loader — every outcome is either a valid matrix or a
 // clean exception.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -19,7 +20,11 @@ namespace {
 class DataIoFuzzTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "hccmf_io_fuzz";
+    // Per-process dir: under parallel ctest each test case is its own
+    // process, and a shared dir would let one TearDown remove_all a
+    // sibling's files mid-test.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hccmf_io_fuzz_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

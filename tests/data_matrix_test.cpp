@@ -86,6 +86,84 @@ TEST(RatingMatrix, ShufflePreservesMultiset) {
   EXPECT_EQ(e[4], (Rating{3, 2, 2.0f}));
 }
 
+TEST(RatingMatrix, PermuteReordersByIndex) {
+  RatingMatrix m = small_matrix();
+  const std::vector<Rating> before(m.entries().begin(), m.entries().end());
+  const std::vector<std::uint32_t> perm = {4, 2, 0, 3, 1};
+  m.permute(perm);
+  const auto after = m.entries();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t j = 0; j < perm.size(); ++j) {
+    EXPECT_EQ(after[j], before[perm[j]]) << "position " << j;
+  }
+}
+
+TEST(RatingMatrix, PermuteEmptyMatrixIsNoOp) {
+  RatingMatrix empty(3, 3);
+  empty.permute(std::span<const std::uint32_t>{});
+  EXPECT_EQ(empty.nnz(), 0u);
+}
+
+TEST(RatingMatrix, PermuteSingleEntryIsIdentity) {
+  RatingMatrix m(2, 2);
+  m.add(1, 0, 2.5f);
+  const std::vector<std::uint32_t> perm = {0};
+  m.permute(perm);
+  ASSERT_EQ(m.nnz(), 1u);
+  EXPECT_EQ(m.entries()[0], (Rating{1, 0, 2.5f}));
+}
+
+TEST(RatingMatrix, PermuteKeepsDuplicatePairsDistinct) {
+  // COO storage admits duplicate (u, i) pairs (e.g. re-rated items kept by
+  // a loader); a permutation must move both copies, not collapse them.
+  RatingMatrix m(2, 2);
+  m.add(0, 1, 1.0f);
+  m.add(0, 1, 2.0f);
+  m.add(1, 1, 3.0f);
+  const std::vector<std::uint32_t> perm = {1, 2, 0};
+  m.permute(perm);
+  ASSERT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.entries()[0], (Rating{0, 1, 2.0f}));
+  EXPECT_EQ(m.entries()[1], (Rating{1, 1, 3.0f}));
+  EXPECT_EQ(m.entries()[2], (Rating{0, 1, 1.0f}));
+}
+
+TEST(RatingMatrix, PermuteRoundTripRestoresOrderAndCounts) {
+  util::Rng rng(7);
+  RatingMatrix m(32, 16);
+  for (int j = 0; j < 200; ++j) {
+    m.add(static_cast<std::uint32_t>(rng.uniform() * 32),
+          static_cast<std::uint32_t>(rng.uniform() * 16),
+          static_cast<float>(rng.uniform() * 5.0));
+  }
+  const std::vector<Rating> before(m.entries().begin(), m.entries().end());
+  const auto rows_before = m.row_counts();
+  std::vector<std::uint32_t> perm(m.nnz());
+  for (std::uint32_t j = 0; j < perm.size(); ++j) perm[j] = j;
+  util::shuffle(perm, rng);
+  std::vector<std::uint32_t> inverse(perm.size());
+  for (std::uint32_t j = 0; j < perm.size(); ++j) inverse[perm[j]] = j;
+  m.permute(perm);
+  EXPECT_EQ(m.nnz(), before.size());
+  EXPECT_EQ(m.row_counts(), rows_before);  // a permutation moves no mass
+  m.permute(inverse);
+  const auto restored = m.entries();
+  for (std::size_t j = 0; j < before.size(); ++j) {
+    EXPECT_EQ(restored[j], before[j]) << "position " << j;
+  }
+}
+
+TEST(RatingMatrix, AppendAfterPermuteExtendsInOrder) {
+  RatingMatrix m = small_matrix();
+  const std::vector<std::uint32_t> perm = {3, 1, 4, 0, 2};
+  m.permute(perm);
+  const std::vector<Rating> extra = {{0, 2, 1.5f}, {3, 1, 4.5f}};
+  m.append(extra);
+  ASSERT_EQ(m.nnz(), 7u);
+  EXPECT_EQ(m.entries()[5], extra[0]);
+  EXPECT_EQ(m.entries()[6], extra[1]);
+}
+
 TEST(RatingMatrix, RowAndColCounts) {
   const RatingMatrix m = small_matrix();
   const auto rows = m.row_counts();

@@ -1,0 +1,267 @@
+// Tests for the cache-aware rating scheduler (data/schedule.hpp): policy
+// parsing, the kAsIs bit-identical contract, permutation invariants of the
+// shuffled/tiled orders, tile contiguity and the tile-span budget math.
+#include "data/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hcc::data {
+namespace {
+
+/// A slice-like matrix: global row ids in [row_lo, row_lo + rows), sorted
+/// by row — exactly what assign_slices hands a worker.
+RatingMatrix slice_like(std::uint32_t row_lo, std::uint32_t rows,
+                        std::uint32_t cols, std::size_t nnz,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  RatingMatrix m(row_lo + rows, cols);
+  for (std::size_t j = 0; j < nnz; ++j) {
+    m.add(row_lo + static_cast<std::uint32_t>(rng.uniform() * rows),
+          static_cast<std::uint32_t>(rng.uniform() * cols),
+          static_cast<float>(1.0 + rng.uniform() * 4.0));
+  }
+  m.sort_by_row();
+  return m;
+}
+
+std::multiset<std::tuple<std::uint32_t, std::uint32_t, float>> multiset_of(
+    const RatingMatrix& m) {
+  std::multiset<std::tuple<std::uint32_t, std::uint32_t, float>> s;
+  for (const auto& e : m.entries()) s.insert({e.u, e.i, e.r});
+  return s;
+}
+
+TEST(ScheduleParse, RoundTripsEveryPolicy) {
+  for (const SchedulePolicy p :
+       {SchedulePolicy::kAsIs, SchedulePolicy::kShuffled,
+        SchedulePolicy::kTiled}) {
+    EXPECT_EQ(parse_schedule(schedule_name(p)), p);
+  }
+  EXPECT_THROW(parse_schedule("zigzag"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule(""), std::invalid_argument);
+}
+
+TEST(ScheduleAsIs, IsBitIdenticalNoOp) {
+  RatingMatrix m = slice_like(10, 50, 40, 500, 1);
+  const std::vector<Rating> before(m.entries().begin(), m.entries().end());
+  const RatingScheduler sched(ScheduleOptions{}, /*k=*/16);
+  for (std::uint32_t epoch = 0; epoch < 3; ++epoch) {
+    const ScheduleStats stats = sched.prepare(m, epoch);
+    EXPECT_EQ(stats.reorder_ms, 0.0);
+    const auto after = m.entries();
+    ASSERT_EQ(after.size(), before.size());
+    for (std::size_t j = 0; j < before.size(); ++j) {
+      EXPECT_EQ(after[j], before[j]) << "epoch " << epoch << " pos " << j;
+    }
+  }
+}
+
+TEST(ScheduleShuffled, PermutesDeterministicallyPerEpoch) {
+  ScheduleOptions opts;
+  opts.policy = SchedulePolicy::kShuffled;
+  const RatingScheduler sched(opts, 16);
+
+  RatingMatrix a = slice_like(0, 40, 30, 400, 2);
+  RatingMatrix b = slice_like(0, 40, 30, 400, 2);
+  const auto before = multiset_of(a);
+
+  sched.prepare(a, 0);
+  sched.prepare(b, 0);
+  EXPECT_EQ(multiset_of(a), before);  // a permutation, nothing lost
+  const auto ea = a.entries();
+  const auto eb = b.entries();
+  for (std::size_t j = 0; j < ea.size(); ++j) {
+    ASSERT_EQ(ea[j], eb[j]) << "same (seed, epoch) must reorder identically";
+  }
+
+  // A different epoch produces a different order (with 400! orders the
+  // probability of a coincidence is nil).
+  RatingMatrix c = slice_like(0, 40, 30, 400, 2);
+  sched.prepare(c, 1);
+  const auto ec = c.entries();
+  bool any_diff = false;
+  for (std::size_t j = 0; j < ea.size(); ++j) {
+    if (!(ea[j] == ec[j])) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+  EXPECT_EQ(multiset_of(c), before);
+}
+
+TEST(ScheduleTiled, VisitsEachTileContiguously) {
+  ScheduleOptions opts;
+  opts.policy = SchedulePolicy::kTiled;
+  opts.tile_kb = 4;  // tiny budget -> many tiles even on a small slice
+  const std::uint32_t k = 32;
+  const RatingScheduler sched(opts, k);
+
+  RatingMatrix m = slice_like(100, 64, 64, 2000, 3);
+  const auto before = multiset_of(m);
+  const ScheduleStats stats = sched.prepare(m, 0);
+  EXPECT_EQ(multiset_of(m), before);
+  ASSERT_GT(stats.row_span, 0u);
+  ASSERT_GT(stats.col_span, 0u);
+  EXPECT_GT(stats.tiles, 1u);
+
+  // Every (row-block, col-block) tile must occupy one contiguous run of
+  // the entry array — that contiguity IS the cache locality.
+  std::uint32_t u_min = m.entries()[0].u;
+  for (const auto& e : m.entries()) u_min = std::min(u_min, e.u);
+  auto tile_of = [&](const Rating& e) {
+    return std::make_pair((e.u - u_min) / stats.row_span,
+                          e.i / stats.col_span);
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> last_seen;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> closed;
+  const auto entries = m.entries();
+  std::uint32_t runs = 0;
+  for (std::size_t j = 0; j < entries.size(); ++j) {
+    const auto t = tile_of(entries[j]);
+    if (j == 0 || t != tile_of(entries[j - 1])) {
+      ++runs;
+      EXPECT_TRUE(closed.insert(t).second)
+          << "tile (" << t.first << "," << t.second << ") split across runs";
+    }
+  }
+  EXPECT_EQ(runs, stats.tiles);
+}
+
+TEST(ScheduleTiled, StableWithinTileAndSeededAcrossEpochs) {
+  ScheduleOptions opts;
+  opts.policy = SchedulePolicy::kTiled;
+  opts.tile_kb = 8;
+  const RatingScheduler sched(opts, 32);
+
+  RatingMatrix a = slice_like(0, 48, 48, 1200, 4);
+  RatingMatrix b = slice_like(0, 48, 48, 1200, 4);
+  const std::vector<Rating> original(a.entries().begin(), a.entries().end());
+  const ScheduleStats stats = sched.prepare(a, 0);
+  sched.prepare(b, 0);
+  const auto ea = a.entries();
+  const auto eb = b.entries();
+  for (std::size_t j = 0; j < ea.size(); ++j) {
+    ASSERT_EQ(ea[j], eb[j]) << "same (seed, epoch) must tile identically";
+  }
+
+  // Stability: within one tile, entries keep their original relative
+  // order.  Map each entry back to its original position and check the
+  // positions rise monotonically inside each contiguous tile run.
+  std::uint32_t u_min = original[0].u;
+  for (const auto& e : original) u_min = std::min(u_min, e.u);
+  auto tile_of = [&](const Rating& e) {
+    return std::make_pair((e.u - u_min) / stats.row_span,
+                          e.i / stats.col_span);
+  };
+  // Duplicate entries are possible; consume original positions in order.
+  std::map<std::tuple<std::uint32_t, std::uint32_t, float>,
+           std::vector<std::size_t>>
+      positions;
+  for (std::size_t j = 0; j < original.size(); ++j) {
+    positions[{original[j].u, original[j].i, original[j].r}].push_back(j);
+  }
+  std::size_t prev_pos = 0;
+  for (std::size_t j = 0; j < ea.size(); ++j) {
+    auto& avail = positions[{ea[j].u, ea[j].i, ea[j].r}];
+    ASSERT_FALSE(avail.empty());
+    const std::size_t pos = avail.front();
+    avail.erase(avail.begin());
+    if (j > 0 && tile_of(ea[j]) == tile_of(ea[j - 1])) {
+      EXPECT_GT(pos, prev_pos) << "within-tile order not stable at " << j;
+    }
+    prev_pos = pos;
+  }
+}
+
+TEST(ScheduleTiled, ZorderKeepsTilesContiguous) {
+  ScheduleOptions opts;
+  opts.policy = SchedulePolicy::kTiled;
+  opts.tile_kb = 8;
+  opts.zorder = true;
+  const RatingScheduler sched(opts, 32);
+  RatingMatrix m = slice_like(0, 48, 48, 1500, 5);
+  const auto before = multiset_of(m);
+  const ScheduleStats stats = sched.prepare(m, 0);
+  EXPECT_EQ(multiset_of(m), before);
+  std::uint32_t u_min = m.entries()[0].u;
+  for (const auto& e : m.entries()) u_min = std::min(u_min, e.u);
+  auto tile_of = [&](const Rating& e) {
+    return std::make_pair((e.u - u_min) / stats.row_span,
+                          e.i / stats.col_span);
+  };
+  std::set<std::pair<std::uint32_t, std::uint32_t>> closed;
+  const auto entries = m.entries();
+  for (std::size_t j = 0; j < entries.size(); ++j) {
+    const auto t = tile_of(entries[j]);
+    if (j == 0 || t != tile_of(entries[j - 1])) {
+      EXPECT_TRUE(closed.insert(t).second) << "tile split at " << j;
+    }
+  }
+}
+
+TEST(ScheduleTiled, HandlesDegenerateSlices) {
+  ScheduleOptions opts;
+  opts.policy = SchedulePolicy::kTiled;
+  const RatingScheduler sched(opts, 16);
+
+  RatingMatrix empty(10, 10);
+  ScheduleStats stats = sched.prepare(empty, 0);
+  EXPECT_EQ(stats.tiles, 0u);
+  EXPECT_EQ(empty.nnz(), 0u);
+
+  RatingMatrix single(10, 10);
+  single.add(3, 7, 4.0f);
+  stats = sched.prepare(single, 0);
+  EXPECT_EQ(stats.tiles, 1u);
+  ASSERT_EQ(single.nnz(), 1u);
+  EXPECT_EQ(single.entries()[0], (Rating{3, 7, 4.0f}));
+}
+
+TEST(ScheduleTiled, GrowsSpansWhenBudgetIsDegenerate) {
+  // A 1 KiB budget at k=128 buys exactly one row per side; against a wide
+  // slice the scheduler must grow the spans instead of allocating a tile
+  // table far larger than the entry count.
+  ScheduleOptions opts;
+  opts.policy = SchedulePolicy::kTiled;
+  opts.tile_kb = 1;
+  const RatingScheduler sched(opts, 128);
+  RatingMatrix m = slice_like(0, 2000, 2000, 100, 6);
+  const ScheduleStats stats = sched.prepare(m, 0);
+  EXPECT_EQ(m.nnz(), 100u);
+  EXPECT_GE(stats.row_span, 1u);
+  // The doubling loop bounds bookkeeping at O(max(nnz, 1024)) tiles.
+  const std::uint64_t row_tiles = (2000 + stats.row_span - 1) / stats.row_span;
+  const std::uint64_t col_tiles = (2000 + stats.col_span - 1) / stats.col_span;
+  EXPECT_LE(row_tiles * col_tiles, 1024u * 4);
+}
+
+TEST(ScheduleSpans, TrackCacheBudget) {
+  // The budget buys Q rows: col_span = tile_kb KiB / (k * 4 B).  P streams
+  // within a tile, so row_span is a fixed 32x aspect over col_span — tall
+  // tiles are what give each resident Q row multiple touches at sparse
+  // rating densities.
+  EXPECT_EQ(RatingScheduler::tile_spans(1024, 128).second, 2048u);
+  EXPECT_EQ(RatingScheduler::tile_spans(1024, 128).first, 65536u);
+  EXPECT_EQ(RatingScheduler::tile_spans(512, 128).second, 1024u);
+  EXPECT_EQ(RatingScheduler::tile_spans(512, 128).first, 32768u);
+  EXPECT_EQ(RatingScheduler::tile_spans(64, 128).second, 128u);
+  EXPECT_EQ(RatingScheduler::tile_spans(64, 128).first, 4096u);
+  // Floors at 1 column even when a single row exceeds the budget...
+  EXPECT_EQ(RatingScheduler::tile_spans(0, 128).second, 1u);
+  EXPECT_EQ(RatingScheduler::tile_spans(0, 128).first, 32u);
+  // ... and caps at the 16-bit Z-order key width.
+  EXPECT_EQ(RatingScheduler::tile_spans(1u << 20, 1).second, 65536u);
+  EXPECT_EQ(RatingScheduler::tile_spans(1u << 20, 1).first, 65536u);
+}
+
+}  // namespace
+}  // namespace hcc::data
