@@ -22,6 +22,7 @@
 
 #include "bench_common.hpp"
 #include "core/hccmf.hpp"
+#include "fault/plan.hpp"
 #include "data/datasets.hpp"
 #include "obs/metrics.hpp"
 #include "sim/platform.hpp"
@@ -40,6 +41,7 @@ struct RunResult {
   double speedup = 1.0;             ///< serial wall / this wall
   std::uint64_t contention = 0;     ///< stripe try_lock misses during the run
   std::uint64_t stripe_locks = 0;   ///< stripe acquisitions during the run
+  std::uint64_t steal_chunks = 0;   ///< chunks stolen during the run
 };
 
 RunResult run_once(const std::string& label, core::HccMfConfig config,
@@ -48,6 +50,7 @@ RunResult run_once(const std::string& label, core::HccMfConfig config,
   auto& reg = obs::registry();
   const std::uint64_t contention0 = reg.counter("server.stripe_contention").value();
   const std::uint64_t locks0 = reg.counter("server.stripe_locks").value();
+  const std::uint64_t steals0 = reg.counter("steal.chunks").value();
 
   core::HccMf framework(std::move(config));
   const auto t0 = std::chrono::steady_clock::now();
@@ -63,7 +66,19 @@ RunResult run_once(const std::string& label, core::HccMfConfig config,
   r.final_rmse = report.epochs.back().test_rmse;
   r.contention = reg.counter("server.stripe_contention").value() - contention0;
   r.stripe_locks = reg.counter("server.stripe_locks").value() - locks0;
+  r.steal_chunks = reg.counter("steal.chunks").value() - steals0;
   return r;
+}
+
+/// A stall:w0@eNx4 event for every epoch: worker 0 really runs 4x slower
+/// for the whole training (see FaultOptions::real_stalls).
+fault::FaultPlan every_epoch_stall(std::uint32_t epochs) {
+  std::string spec;
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    if (!spec.empty()) spec += ';';
+    spec += "stall:w0@e" + std::to_string(e) + "x4";
+  }
+  return fault::FaultPlan::parse(spec);
 }
 
 }  // namespace
@@ -156,6 +171,45 @@ int main(int argc, char** argv) {
           bench::JsonReport::number(static_cast<double>(r.contention))}});
   }
   table.print(std::cout);
+
+  // Straggler recovery: worker 0 really stalls 4x every epoch (the compute
+  // thread sleeps, not just the virtual clock).  Without stealing the epoch
+  // barrier waits for it; with stealing the drained workers take chunks off
+  // its queue.  `recovered` = stalled no-steal wall / stalled steal wall.
+  std::vector<RunResult> straggler;
+  for (const bool steal : {false, true}) {
+    core::HccMfConfig config = base_config();
+    config.exec.mode = core::ExecMode::kParallel;
+    config.exec.steal = steal;
+    config.fault.plan = every_epoch_stall(epochs);
+    config.fault.real_stalls = true;
+    straggler.push_back(run_once(steal ? "straggler steal"
+                                       : "straggler no-steal",
+                                 std::move(config), train, test));
+  }
+  const double recovered = straggler[1].wall_s > 0.0
+                               ? straggler[0].wall_s / straggler[1].wall_s
+                               : 0.0;
+
+  util::Table stable({"mode", "wall s", "recovered", "final rmse",
+                      "steal chunks"});
+  for (const auto& r : straggler) {
+    const bool is_steal = &r == &straggler[1];
+    stable.add_row({r.label, util::Table::num(r.wall_s, 3),
+                    is_steal ? util::Table::num(recovered, 2) + "x" : "-",
+                    util::Table::num(r.final_rmse, 4),
+                    std::to_string(r.steal_chunks)});
+    report.add_row(
+        "straggler",
+        {{"mode", bench::JsonReport::quote(r.label)},
+         {"wall_s", bench::JsonReport::number(r.wall_s)},
+         {"recovered", bench::JsonReport::number(is_steal ? recovered : 1.0)},
+         {"final_rmse", bench::JsonReport::number(r.final_rmse)},
+         {"steal_chunks",
+          bench::JsonReport::number(static_cast<double>(r.steal_chunks))}});
+  }
+  std::cout << '\n';
+  stable.print(std::cout);
 
   std::cout << "\nnote: the speedup needs real cores; a 1-CPU host records "
                "thread-switching overhead, not concurrency\n";

@@ -28,6 +28,7 @@
 //                [--trace-out=trace.json] [--metrics-out=metrics.json]
 //                [--fault-plan=SPEC] [--checkpoint-dir=DIR]
 //                [--exec-mode=serial|parallel] [--stripes=N]
+//                [--steal] [--chunk=N] [--real-stalls]
 //                [--schedule=asis|shuffled|tiled] [--tile-kb=KB] [--pin]
 #include <cstdio>
 #include <iostream>
@@ -95,6 +96,16 @@ int main(int argc, char** argv) {
   config.exec.stripes =
       static_cast<std::uint32_t>(cli.get("stripes", std::int64_t{0}));
   config.exec.pin_threads = cli.get("pin", false);
+
+  // Work stealing (parallel mode only): chunk the rating order onto
+  // per-worker deques so drained workers help stragglers mid-epoch.
+  // --chunk overrides the auto chunk size (ratings per chunk);
+  // --real-stalls makes scripted stall:* events actually sleep the compute
+  // thread, so stealing has a wall-clock straggler to recover from.
+  config.exec.steal = cli.get("steal", false);
+  config.exec.chunk_ratings =
+      static_cast<std::uint32_t>(cli.get("chunk", std::int64_t{0}));
+  config.fault.real_stalls = cli.get("real-stalls", false);
 
   // Cache-aware rating schedule (docs/locality.md): visit order over each
   // worker's slice, and the tile working-set budget under "tiled".

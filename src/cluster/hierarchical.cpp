@@ -203,7 +203,16 @@ ClusterReport HierarchicalHcc::train(const data::RatingMatrix& train_ratings,
       }
       node.push(global_server);
     };
-    if (executor.mode() == core::ExecMode::kParallel) {
+    if (executor.mode() == core::ExecMode::kParallel &&
+        config_.exec.steal && config_.local_epochs == 1) {
+      // Work stealing across nodes: run_epoch's steal branch chunk-queues
+      // each node's slice and lets drained nodes help the stragglers.
+      // Only the single-local-epoch shape maps onto one chunk drain per
+      // global epoch; with local_epochs > 1 the repeated passes keep the
+      // explicit pipeline below.
+      executor.run_epoch(nodes, all_alive, global_server, lr,
+                         config_.sgd.reg_p, config_.sgd.reg_q, pool.get());
+    } else if (executor.mode() == core::ExecMode::kParallel) {
       // Cluster nodes really do work concurrently; run each node's whole
       // pipeline on its own executor thread against the striped server.
       executor.run_parallel(all_alive,

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/server.hpp"
+#include "core/steal_queue.hpp"
 #include "core/worker.hpp"
 #include "fault/errors.hpp"
 #include "obs/metrics.hpp"
@@ -185,11 +186,85 @@ void EpochExecutor::run_epoch(std::vector<TrainWorker>& workers,
     }
     return;
   }
+  if (!options_.steal) {
+    run_parallel(alive, [&](std::size_t i) {
+      // The reorder runs on the worker's own (possibly pinned) thread so
+      // the permuted entries are first-touched where they will be streamed.
+      workers[i].prepare_epoch();
+      workers[i].run_pipeline(server, lr, reg_p, reg_q, pool);
+    });
+    return;
+  }
+
+  // Work-stealing epoch: one shared chunk scheduler per epoch.  Chunk
+  // targets come from the previous epoch's effective-bandwidth gauges — a
+  // measured straggler gets smaller chunks, so more of its backlog is
+  // stealable and its unstealable last chunk is short.
+  std::size_t n_alive = 0;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (i < alive.size() && alive[i]) ++n_alive;
+  }
+  StealScheduler sched(workers.size(), n_alive);
+  auto& reg = obs::registry();
+  std::vector<double> gbps(workers.size(), 0.0);
+  double gbps_sum = 0.0;
+  std::size_t gbps_n = 0;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (!alive[i]) continue;
+    const obs::Gauge* g =
+        reg.find_gauge("worker" + std::to_string(i) + ".effective_gbps");
+    if (g != nullptr && g->value() > 0.0) {
+      gbps[i] = g->value();
+      gbps_sum += gbps[i];
+      ++gbps_n;
+    }
+  }
+  const double gbps_mean =
+      gbps_n > 0 ? gbps_sum / static_cast<double>(gbps_n) : 0.0;
+  std::vector<std::size_t> targets(workers.size(), 0);
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (!alive[i]) continue;
+    targets[i] = resolve_chunk_target(workers[i].assigned_nnz(),
+                                      options_.chunk_ratings, gbps[i],
+                                      gbps_mean);
+  }
+
   run_parallel(alive, [&](std::size_t i) {
-    // The reorder runs on the worker's own (possibly pinned) thread so the
-    // permuted entries are first-touched where they will be streamed.
-    workers[i].prepare_epoch();
-    workers[i].run_pipeline(server, lr, reg_p, reg_q, pool);
+    try {
+      workers[i].prepare_epoch();
+      workers[i].pull(server);
+      // Chunks are published only after the pull: stealing runs against a
+      // consistent epoch-start view, and next_chunk's registration wait
+      // keeps anyone from draining a queue before the real backlogs exist.
+      sched.install(i, workers[i].make_chunks(targets[i]));
+      WorkChunk chunk;
+      while (sched.next_chunk(i, chunk)) {
+        try {
+          if (chunk.owner == static_cast<std::uint32_t>(i)) {
+            workers[i].compute_own_range(server, chunk.lo, chunk.hi, lr,
+                                         reg_p, reg_q, pool);
+          } else {
+            workers[i].compute_stolen(server, workers[chunk.owner], chunk.lo,
+                                      chunk.hi, lr, reg_p, reg_q);
+          }
+        } catch (...) {
+          // Release the row claim before aborting, or a peer parked on it
+          // would never re-check the abort flag.
+          sched.complete(chunk);
+          throw;
+        }
+        sched.complete(chunk);
+      }
+      workers[i].guard_divergence();
+      workers[i].push(server);
+    } catch (...) {
+      // Wake everyone (registration wait, claim wait) so the epoch barrier
+      // is reached; peers push whatever they finished, and the recovery
+      // paths roll the partial epoch back from the checkpoint exactly as
+      // in the non-stealing executor.
+      sched.abort();
+      throw;
+    }
   });
 }
 

@@ -67,6 +67,18 @@ struct ExecOptions {
   /// every epoch — on a NUMA host that keeps local Q, the snapshot and the
   /// staging buffers on the worker's own node (see util/affinity.hpp).
   bool pin_threads = false;
+  /// Work stealing under kParallel (see core/steal_queue.hpp): each
+  /// worker's prepared rating order is cut into chunks on a per-worker
+  /// deque; a worker that drains its own deque steals from the tail of the
+  /// fullest peer's, so a mid-epoch straggler sheds its backlog instead of
+  /// holding the epoch barrier.  Supersedes the per-worker stream pipeline
+  /// (one pull, a chunk-drain loop, one push per epoch).  Off by default:
+  /// the non-stealing pipelines stay bit-identical to pre-steal builds.
+  bool steal = false;
+  /// Target ratings per chunk under `steal` (0 = auto: assigned_nnz / 16
+  /// per worker, rescaled every epoch by the worker's measured
+  /// effective_gbps relative to the mean — see resolve_chunk_target).
+  std::uint32_t chunk_ratings = 0;
 };
 
 /// "serial" / "parallel" (CLI + logging).

@@ -111,6 +111,11 @@ std::vector<ConfigError> HccMfConfig::validate() const {
     reject(ConfigErrorCode::kBadTileKb,
            "schedule.tile_kb must be > 0 under the tiled schedule");
   }
+  if (exec.steal && exec.mode != ExecMode::kParallel) {
+    reject(ConfigErrorCode::kStealNeedsParallel,
+           "exec.steal requires exec.mode == parallel (kSerial is the "
+           "bit-identical legacy loop)");
+  }
   return errors;
 }
 
@@ -288,9 +293,11 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
     workers.back().set_fault_runtime(&fault_rt);
     workers.back().set_exec(parallel, config_.exec.double_buffer);
     workers.back().set_schedule(config_.schedule, config_.sgd.k);
+    workers.back().set_real_stalls(config_.fault.real_stalls);
   }
   obs::registry().gauge("exec.mode").set(parallel ? 1.0 : 0.0);
   obs::registry().gauge("exec.stripes").set(static_cast<double>(stripes));
+  obs::registry().gauge("exec.steal").set(config_.exec.steal ? 1.0 : 0.0);
   obs::registry().gauge("sched.policy").set(
       static_cast<double>(static_cast<int>(config_.schedule.policy)));
   obs::registry().gauge("sched.tile_kb").set(
@@ -394,18 +401,36 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
       // worker sustained — Eq. 2's B_i solved from the measured compute
       // time (the quantity the cache-aware schedule exists to raise).
       double sched_tiles = 0.0;
+      double min_gbps = 0.0;
       double max_gbps = 0.0;
+      double sum_gbps = 0.0;
+      std::size_t gbps_n = 0;
+      double max_compute = 0.0;
+      double sum_compute = 0.0;
+      std::size_t compute_n = 0;
       for (std::size_t w = 0; w < workers.size(); ++w) {
         const obs::PhaseTimes t = workers[w].take_measured();
+        // Under work stealing a worker's throughput is measured over what
+        // it actually computed (own chunks + steals), not what the grid
+        // assigned it; without stealing the two are identical.
+        const std::size_t done = workers[w].take_computed();
         measured[w] = t;
-        if (alive[w] && t.compute_s > 0.0) {
-          const double bytes = static_cast<double>(workers[w].assigned_nnz()) *
-                               (16.0 * shape.k + 4.0);
+        if (alive[w] && t.compute_s > 0.0 && done > 0) {
+          const double bytes =
+              static_cast<double>(done) * (16.0 * shape.k + 4.0);
           const double gbps = bytes / t.compute_s / 1e9;
           obs::registry()
               .gauge("worker" + std::to_string(w) + ".effective_gbps")
               .set(gbps);
+          min_gbps = gbps_n == 0 ? gbps : std::min(min_gbps, gbps);
           max_gbps = std::max(max_gbps, gbps);
+          sum_gbps += gbps;
+          ++gbps_n;
+        }
+        if (alive[w] && t.compute_s > 0.0) {
+          max_compute = std::max(max_compute, t.compute_s);
+          sum_compute += t.compute_s;
+          ++compute_n;
         }
         const data::ScheduleStats& ss = workers[w].schedule_stats();
         sched_tiles += static_cast<double>(ss.tiles);
@@ -424,7 +449,23 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
       }
       obs::registry().gauge("sched.tiles").set(sched_tiles);
       obs::registry().gauge("sched.reorder_ms").set(sched_reorder_ms_total);
+      // Min/mean/max across the alive workers — the spread *is* the
+      // imbalance signal stealing and DP1 exist to close.  The unsuffixed
+      // gauge keeps its historical max semantics.
       obs::registry().gauge("sched.effective_gbps").set(max_gbps);
+      obs::registry().gauge("sched.effective_gbps_min").set(min_gbps);
+      obs::registry()
+          .gauge("sched.effective_gbps_mean")
+          .set(gbps_n > 0 ? sum_gbps / static_cast<double>(gbps_n) : 0.0);
+      obs::registry().gauge("sched.effective_gbps_max").set(max_gbps);
+      // Slowest worker's compute time over the mean: 1.0 is perfectly
+      // balanced, the straggler's stall factor when one worker lags.
+      obs::registry()
+          .gauge("sched.imbalance")
+          .set(compute_n > 0 && sum_compute > 0.0
+                   ? max_compute /
+                         (sum_compute / static_cast<double>(compute_n))
+                   : 0.0);
       er.measured.server_busy_s = server.measured_sync_s() - prev_sync_s;
       prev_sync_s = server.measured_sync_s();
       er.measured.epoch_s = epoch_span.stop();
@@ -472,7 +513,10 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
       obs::ScopedSpan rec_span("fault recovery", obs::kEpochCategory);
       util::Stopwatch watch;
       const std::uint32_t victim = dead.worker();
-      for (auto& w : workers) (void)w.take_measured();
+      for (auto& w : workers) {
+        (void)w.take_measured();
+        (void)w.take_computed();
+      }
       if (victim >= workers.size() || !alive[victim] ||
           !ckpts.has_checkpoint()) {
         throw;  // nothing left to degrade to
@@ -501,7 +545,10 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
     } catch (const fault::DivergenceError& div) {
       // Divergence guard: rewind to the checkpoint with a halved learning
       // rate; the halving persists via the re-saved checkpoint.
-      for (auto& w : workers) (void)w.take_measured();
+      for (auto& w : workers) {
+        (void)w.take_measured();
+        (void)w.take_computed();
+      }
       if (rollbacks_done >= config_.fault.max_rollbacks ||
           !ckpts.has_checkpoint()) {
         throw fault::TrainingDivergedError(rollbacks_done);
@@ -526,6 +573,15 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
   if (test_ratings != nullptr && config_.evaluate_each_epoch &&
       !report.epochs.empty()) {
     report.epochs.back().test_rmse = mf::rmse(server.model(), *test_ratings);
+  }
+  // Final quality as a gauge so metrics-only consumers (the CI straggler
+  // smoke compares steal vs no-steal RMSE from the JSON dump) need no
+  // report plumbing.
+  if (!report.epochs.empty() &&
+      std::isfinite(report.epochs.back().test_rmse)) {
+    obs::registry()
+        .gauge("train.final_rmse")
+        .set(report.epochs.back().test_rmse);
   }
 
   for (const auto& w : workers) report.comm_totals += w.comm_stats();

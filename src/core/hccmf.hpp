@@ -47,6 +47,7 @@ enum class ConfigErrorCode {
   kBadBackoff,
   kZeroCheckpointCadence,
   kBadTileKb,
+  kStealNeedsParallel,
 };
 
 struct ConfigError {

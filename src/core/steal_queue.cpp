@@ -1,0 +1,201 @@
+#include "core/steal_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/metrics.hpp"
+
+namespace hcc::core {
+
+std::vector<WorkChunk> build_chunks(std::span<const data::Rating> entries,
+                                    std::uint32_t owner,
+                                    std::size_t target_ratings,
+                                    std::span<const std::uint32_t> cut_points) {
+  std::vector<WorkChunk> chunks;
+  const std::size_t n = entries.size();
+  if (n == 0) return chunks;
+  const std::size_t target = std::max<std::size_t>(1, target_ratings);
+  chunks.reserve(n / target + 1);
+  std::size_t lo = 0;
+  // cut_points are ascending; this cursor only ever moves forward.
+  std::size_t cut = 0;
+  while (lo < n) {
+    std::size_t hi = lo + target;
+    if (hi >= n) {
+      hi = n;
+    } else if (!cut_points.empty()) {
+      // Tile-aligned: land on the first boundary at or past the target so a
+      // chunk is a whole number of tiles (never splits a tile's working
+      // set).  Past the last boundary the remainder is one chunk.
+      while (cut < cut_points.size() && cut_points[cut] <= lo) ++cut;
+      while (cut < cut_points.size() && cut_points[cut] < hi) ++cut;
+      hi = cut < cut_points.size() ? cut_points[cut] : n;
+    } else {
+      // Row-aligned: extend to the next user-row change so one user's
+      // ratings never straddle two chunks (keeps the P-row claim intervals
+      // of row-sorted slices disjoint).
+      while (hi < n && entries[hi].u == entries[hi - 1].u) ++hi;
+    }
+    assert(hi > lo && hi <= n);
+    WorkChunk c;
+    c.owner = owner;
+    c.lo = static_cast<std::uint32_t>(lo);
+    c.hi = static_cast<std::uint32_t>(hi);
+    c.u_lo = entries[lo].u;
+    c.u_hi = entries[lo].u;
+    for (std::size_t idx = lo + 1; idx < hi; ++idx) {
+      c.u_lo = std::min(c.u_lo, entries[idx].u);
+      c.u_hi = std::max(c.u_hi, entries[idx].u);
+    }
+    chunks.push_back(c);
+    lo = hi;
+  }
+  return chunks;
+}
+
+std::size_t resolve_chunk_target(std::size_t assigned_nnz,
+                                 std::uint32_t chunk_ratings,
+                                 double worker_gbps, double mean_gbps) {
+  const std::size_t base =
+      chunk_ratings > 0 ? chunk_ratings
+                        : std::max<std::size_t>(1, assigned_nnz / 16);
+  if (!(worker_gbps > 0.0) || !(mean_gbps > 0.0)) return base;
+  const double scale = std::clamp(worker_gbps / mean_gbps, 0.25, 2.0);
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(base) * scale));
+}
+
+StealScheduler::StealScheduler(std::size_t n_workers, std::size_t expected)
+    : workers_(n_workers), expected_(std::min(expected, n_workers)) {
+  auto& reg = obs::registry();
+  steal_count_ = &reg.counter("steal.count");
+  steal_chunks_ = &reg.counter("steal.chunks");
+  steal_ratings_ = &reg.counter("steal.ratings");
+}
+
+void StealScheduler::install(std::size_t worker, std::vector<WorkChunk> chunks) {
+  assert(worker < workers_.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PerWorker& pw = workers_[worker];
+    pw.queue.assign(chunks.begin(), chunks.end());
+    pw.remaining = 0;
+    for (const WorkChunk& c : chunks) pw.remaining += c.ratings();
+    total_remaining_ += pw.remaining;
+    ++installed_;
+  }
+  cv_.notify_all();
+}
+
+bool StealScheduler::claimed(const WorkChunk& chunk) const {
+  for (const RowClaim& claim : workers_[chunk.owner].active) {
+    if (chunk.u_lo <= claim.u_hi && claim.u_lo <= chunk.u_hi) return true;
+  }
+  return false;
+}
+
+bool StealScheduler::take(std::size_t from, bool from_back, WorkChunk& out) {
+  PerWorker& pw = workers_[from];
+  auto try_at = [&](auto it) {
+    if (claimed(*it)) return false;
+    out = *it;
+    pw.queue.erase(it);
+    pw.remaining -= out.ratings();
+    total_remaining_ -= out.ratings();
+    workers_[out.owner].active.push_back({out.u_lo, out.u_hi});
+    ++in_flight_;
+    return true;
+  };
+  if (from_back) {
+    for (auto it = pw.queue.rbegin(); it != pw.queue.rend(); ++it) {
+      if (try_at(std::prev(it.base()))) return true;
+    }
+  } else {
+    for (auto it = pw.queue.begin(); it != pw.queue.end(); ++it) {
+      if (try_at(it)) return true;
+    }
+  }
+  return false;
+}
+
+bool StealScheduler::next_chunk(std::size_t self, WorkChunk& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Stealing before every alive worker has published its queue would see a
+  // partial picture of the backlog (and could drain a fast worker while the
+  // real straggler has not even checked in).
+  cv_.wait(lock, [&] { return aborted_ || installed_ >= expected_; });
+  for (;;) {
+    if (aborted_) return false;
+    // Own work first, in prepared order — the cache-aware schedule's whole
+    // point is that this order is worth keeping.
+    if (take(self, /*from_back=*/false, out)) return true;
+    // Dry: steal from the tail of the worker with the most ratings left,
+    // falling back to the next-fullest when a row claim blocks the first.
+    std::vector<std::size_t> victims;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (w != self && workers_[w].remaining > 0) victims.push_back(w);
+    }
+    std::sort(victims.begin(), victims.end(), [&](std::size_t a, std::size_t b) {
+      return workers_[a].remaining > workers_[b].remaining;
+    });
+    bool stole = false;
+    for (const std::size_t victim : victims) {
+      if (take(victim, /*from_back=*/true, out)) {
+        ++steals_;
+        stolen_ratings_ += out.ratings();
+        steal_count_->add(1);
+        steal_chunks_->add(1);
+        steal_ratings_->add(out.ratings());
+        stole = true;
+        break;
+      }
+    }
+    if (stole) return true;
+    // Nothing claimable anywhere.  All drained and nothing in flight means
+    // the epoch's compute is done; otherwise an in-flight completion (or an
+    // abort) will wake us to re-check.
+    if (total_remaining_ == 0 && in_flight_ == 0) return false;
+    cv_.wait(lock);
+  }
+}
+
+void StealScheduler::complete(const WorkChunk& chunk) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& active = workers_[chunk.owner].active;
+    for (auto it = active.begin(); it != active.end(); ++it) {
+      if (it->u_lo == chunk.u_lo && it->u_hi == chunk.u_hi) {
+        active.erase(it);
+        break;
+      }
+    }
+    assert(in_flight_ > 0);
+    --in_flight_;
+  }
+  cv_.notify_all();
+}
+
+void StealScheduler::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+    for (PerWorker& pw : workers_) {
+      pw.queue.clear();
+      pw.remaining = 0;
+    }
+    total_remaining_ = 0;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t StealScheduler::steals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return steals_;
+}
+
+std::uint64_t StealScheduler::stolen_ratings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stolen_ratings_;
+}
+
+}  // namespace hcc::core

@@ -1,0 +1,157 @@
+// Chunked work queues with stealing (DP1 goes intra-epoch).
+//
+// The paper's DP1/DP2 policies rebalance *between* epochs from measured
+// times, so a worker that turns into a straggler mid-epoch (co-tenant job,
+// thermal throttle, scripted stall) holds the whole epoch barrier hostage.
+// This module breaks each worker's schedule-prepared rating order into
+// chunks on a per-worker deque: the owner drains its deque front-to-back
+// (preserving the cache-aware visit order the scheduler just paid for),
+// and a worker that runs dry steals from the *tail* of the deque with the
+// most ratings left — the classic Cilk-style split of cheap owner pops vs
+// coarse thief grabs, here at rating-range granularity.
+//
+// Race freedom is ownership-based, not lock-based:
+//  - a chunk executed by its owner updates the owner's private local Q and
+//    the global P rows of the chunk (exclusive under the row grid);
+//  - a *stolen* chunk is computed against a thief-private Q scratch gathered
+//    from the server and merged straight back through the server's stripe
+//    locks (see TrainWorker::compute_stolen) — the victim's local Q is
+//    never touched by another thread;
+//  - two chunks of the same owner may share P rows (a user's ratings can
+//    straddle a chunk cut only at tile boundaries, where tiles in the same
+//    row band share rows), so the scheduler hands out a chunk only while no
+//    in-flight chunk of the same owner overlaps its [u_lo, u_hi] row
+//    interval.  That claim check is what makes concurrent execution of one
+//    worker's slice safe without touching the SGD inner loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "data/rating_matrix.hpp"
+
+namespace hcc::obs {
+class Counter;
+}
+
+namespace hcc::core {
+
+/// One contiguous range of an owner's (schedule-prepared) entry order.
+struct WorkChunk {
+  std::uint32_t owner = 0;  ///< worker whose slice `lo/hi` index into
+  std::uint32_t lo = 0;     ///< entry range [lo, hi) in the owner's slice
+  std::uint32_t hi = 0;
+  std::uint32_t u_lo = 0;   ///< inclusive global-row interval the range
+  std::uint32_t u_hi = 0;   ///< touches (the P-claim for conflict checks)
+
+  std::uint32_t ratings() const noexcept { return hi - lo; }
+  friend bool operator==(const WorkChunk&, const WorkChunk&) = default;
+};
+
+/// Cuts `entries` into chunks of ~`target_ratings` each.  With `cut_points`
+/// (ascending entry indexes in (0, n) — the tile boundaries under the tiled
+/// schedule) every cut lands on one of them, so a chunk is a whole number
+/// of tiles and stealing never splits a tile's cache working set.  Without
+/// cut points a cut is deferred until the user row changes, so one user's
+/// ratings never straddle two chunks and the per-chunk row intervals stay
+/// tight.  Each chunk carries its touched-row interval [u_lo, u_hi].
+std::vector<WorkChunk> build_chunks(std::span<const data::Rating> entries,
+                                    std::uint32_t owner,
+                                    std::size_t target_ratings,
+                                    std::span<const std::uint32_t> cut_points);
+
+/// Chunk-size heuristic: the base is `chunk_ratings` when set, otherwise
+/// nnz/16 (16 chunks per worker — enough granularity for a 4x straggler to
+/// shed ~3/4 of its tail, small enough that chunk bookkeeping stays
+/// invisible next to the SGD itself).  The base is then scaled by the
+/// worker's measured `worker_gbps / mean_gbps` (clamped to [0.25, 2]): a
+/// straggler gets *smaller* chunks, so more of its queue is stealable and
+/// its last chunk — the one nobody can help with — is short.
+std::size_t resolve_chunk_target(std::size_t assigned_nnz,
+                                 std::uint32_t chunk_ratings,
+                                 double worker_gbps, double mean_gbps);
+
+/// The per-epoch stealing scheduler: one deque per worker, one mutex + CV
+/// for the whole thing (chunks are thousands of ratings each, so scheduler
+/// traffic is far off the hot path).  Lifecycle per epoch:
+///   install(i, chunks)   each pipeline thread, after prepare+pull
+///   while (next_chunk(i, c)) { run c; complete(c); }
+///   abort()              on any exception, so peers stop waiting
+/// next_chunk blocks until every expected worker has installed (stealing
+/// from a queue that is not populated yet would miss the victim's real
+/// backlog), then serves own-front / steal-tail until all queues are dry
+/// and all in-flight chunks are complete.
+class StealScheduler {
+ public:
+  /// `n_workers` sizes the deque array; `expected` is how many workers will
+  /// call install() this epoch (the alive count — dead workers never check
+  /// in, and waiting for them would deadlock the barrier).
+  StealScheduler(std::size_t n_workers, std::size_t expected);
+
+  StealScheduler(const StealScheduler&) = delete;
+  StealScheduler& operator=(const StealScheduler&) = delete;
+
+  /// Publishes worker `i`'s chunks for this epoch.  Called once per alive
+  /// worker, on its own pipeline thread.
+  void install(std::size_t worker, std::vector<WorkChunk> chunks);
+
+  /// Blocks until a chunk is available for `self` (own queue first, then
+  /// the tail of the victim with the most ratings left), all work is done
+  /// (returns false), or abort() was called (returns false).
+  bool next_chunk(std::size_t self, WorkChunk& out);
+
+  /// Releases `chunk`'s row claim and wakes waiters.  Must be called for
+  /// every chunk next_chunk handed out — including on the exception path,
+  /// *before* abort(), or peers blocked on the claim never re-check.
+  void complete(const WorkChunk& chunk);
+
+  /// Drops all queued work and wakes everyone; subsequent next_chunk calls
+  /// return false.  Called when a pipeline thread is about to rethrow, so
+  /// workers parked on the registration wait (or on a row claim) reach the
+  /// epoch barrier instead of deadlocking.
+  void abort();
+
+  /// Tallies for the epoch (also mirrored into the steal.* counters).
+  std::uint64_t steals() const;
+  std::uint64_t stolen_ratings() const;
+
+ private:
+  struct RowClaim {
+    std::uint32_t u_lo = 0;
+    std::uint32_t u_hi = 0;
+  };
+  struct PerWorker {
+    std::deque<WorkChunk> queue;
+    std::size_t remaining = 0;          ///< ratings still queued
+    std::vector<RowClaim> active;       ///< row intervals of in-flight chunks
+  };
+
+  /// True when `chunk`'s row interval overlaps an in-flight chunk of the
+  /// same owner (claims are per-owner: different owners never share P rows
+  /// under the row grid).
+  bool claimed(const WorkChunk& chunk) const;
+  /// Pops the first claimable chunk of `from`'s queue (front for the owner,
+  /// back for a thief) into `out` and records its claim.
+  bool take(std::size_t from, bool from_back, WorkChunk& out);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<PerWorker> workers_;
+  std::size_t expected_;
+  std::size_t installed_ = 0;
+  std::size_t in_flight_ = 0;          ///< chunks handed out, not completed
+  std::size_t total_remaining_ = 0;    ///< ratings queued across all deques
+  bool aborted_ = false;
+  std::uint64_t steals_ = 0;
+  std::uint64_t stolen_ratings_ = 0;
+  obs::Counter* steal_count_ = nullptr;
+  obs::Counter* steal_chunks_ = nullptr;
+  obs::Counter* steal_ratings_ = nullptr;
+};
+
+}  // namespace hcc::core

@@ -104,9 +104,17 @@ void TrainWorker::absorb_entries(const std::vector<data::Rating>& entries) {
 
 void TrainWorker::record_phase(double seconds, double obs::PhaseTimes::*field,
                                obs::Histogram* hist) {
-  const double s = seconds * stall_factor_;
+  // A real stall already spent its factor in wall clock (apply_real_stall
+  // slept inside the span); multiplying again would double-charge it.
+  const double s = seconds * (real_stalls_ ? 1.0 : stall_factor_);
   measured_.*field += s;
   hist->observe(s);
+}
+
+void TrainWorker::apply_real_stall(double elapsed_s) const {
+  if (!real_stalls_ || stall_factor_ <= 1.0 || elapsed_s <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>((stall_factor_ - 1.0) * elapsed_s));
 }
 
 void TrainWorker::transfer_with_retry(std::span<const float> src,
@@ -279,13 +287,30 @@ void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
   if (fault_ != nullptr) fault_->injector().check_phase(id_);
   obs::ScopedSpan span("compute", obs::kPhaseCategory, track_of(id_));
   span.arg("chunk", std::to_string(chunk));
-  mf::FactorModel& model = server.model();
-  const std::uint32_t k = model.k();
+  util::Stopwatch watch;
   const auto entries = slice_.entries();
   const std::size_t per_chunk = (entries.size() + streams_ - 1) / streams_;
   const std::size_t lo = std::min(entries.size(), chunk * per_chunk);
   const std::size_t hi = std::min(entries.size(), lo + per_chunk);
+  sgd_over_own(server, entries, lo, hi, lr, reg_p, reg_q, pool);
+  counter_updates_->add(hi - lo);
+  computed_ += hi - lo;
+  last_chunk_ = chunk;
+  apply_real_stall(watch.seconds());
+  record_phase(span.stop(), &obs::PhaseTimes::compute_s, hist_compute_);
 
+  // Divergence guard: a runaway learning rate poisons whole Q rows within
+  // one chunk; catch it here, before push spreads it to the server.
+  guard_divergence();
+}
+
+void TrainWorker::sgd_over_own(Server& server,
+                               std::span<const data::Rating> entries,
+                               std::size_t lo, std::size_t hi, float lr,
+                               float reg_p, float reg_q,
+                               util::ThreadPool* pool) {
+  mf::FactorModel& model = server.model();
+  const std::uint32_t k = model.k();
   // Hint a few updates ahead: far enough that the lines arrive before the
   // demand load, near enough that they are not evicted again first.
   constexpr std::size_t kPrefetchAhead = 4;
@@ -308,12 +333,9 @@ void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
   } else {
     body(lo, hi);
   }
-  counter_updates_->add(hi - lo);
-  last_chunk_ = chunk;
-  record_phase(span.stop(), &obs::PhaseTimes::compute_s, hist_compute_);
+}
 
-  // Divergence guard: a runaway learning rate poisons whole Q rows within
-  // one chunk; catch it here, before push spreads it to the server.
+void TrainWorker::guard_divergence() {
   if (fault_ != nullptr && fault_->options().divergence_guard &&
       !mf::all_finite(local_q_)) {
     util::log_kv(util::LogLevel::kWarn, "fault.divergence",
@@ -321,6 +343,96 @@ void TrainWorker::compute_chunk(Server& server, std::uint32_t chunk, float lr,
                   util::kv("epoch", fault_->injector().current_epoch())});
     throw fault::DivergenceError(id_, fault_->injector().current_epoch());
   }
+}
+
+std::vector<WorkChunk> TrainWorker::make_chunks(
+    std::size_t target_ratings) const {
+  // Tile-aligned under the tiled schedule (never split a tile's working
+  // set); user-row-aligned otherwise, which keeps the chunks' P-row claim
+  // intervals disjoint over the row-sorted default order.
+  std::span<const std::uint32_t> cuts;
+  if (scheduler_.options().policy == data::SchedulePolicy::kTiled) {
+    cuts = sched_stats_.tile_offsets;
+  }
+  return build_chunks(slice_.entries(), id_, target_ratings, cuts);
+}
+
+void TrainWorker::compute_own_range(Server& server, std::size_t lo,
+                                    std::size_t hi, float lr, float reg_p,
+                                    float reg_q, util::ThreadPool* pool) {
+  assert(!local_q_.empty() && "pull() must precede compute_own_range()");
+  if (fault_ != nullptr) fault_->injector().check_phase(id_);
+  obs::ScopedSpan span("compute", obs::kPhaseCategory, track_of(id_));
+  util::Stopwatch watch;
+  sgd_over_own(server, slice_.entries(), lo, hi, lr, reg_p, reg_q, pool);
+  counter_updates_->add(hi - lo);
+  computed_ += hi - lo;
+  // The divergence guard runs once before push (guard_divergence), not per
+  // chunk — an O(|Q|) scan per chunk would dwarf small chunks.
+  apply_real_stall(watch.seconds());
+  record_phase(span.stop(), &obs::PhaseTimes::compute_s, hist_compute_);
+}
+
+void TrainWorker::compute_stolen(Server& server, const TrainWorker& victim,
+                                 std::size_t lo, std::size_t hi, float lr,
+                                 float reg_p, float reg_q) {
+  if (fault_ != nullptr) fault_->injector().check_phase(id_);
+  obs::ScopedSpan span("steal", obs::kPhaseCategory, track_of(id_));
+  span.arg("victim", std::to_string(victim.id()));
+  util::Stopwatch watch;
+  mf::FactorModel& model = server.model();
+  const std::uint32_t k = model.k();
+  const auto entries = victim.slice().entries().subspan(lo, hi - lo);
+
+  // Private working set: the chunk's unique items, gathered fresh from the
+  // server (stripe-locked).  The scratch evolves within the chunk and is
+  // discarded at the end — see the header comment for the measurements
+  // behind the P-full / Q-forfeit write policy.
+  steal_items_.clear();
+  steal_items_.reserve(entries.size());
+  for (const auto& e : entries) steal_items_.push_back(e.i);
+  std::sort(steal_items_.begin(), steal_items_.end());
+  steal_items_.erase(std::unique(steal_items_.begin(), steal_items_.end()),
+                     steal_items_.end());
+  server.gather_q_rows(steal_items_, steal_q_);
+  if (steal_index_.size() < model.items()) steal_index_.resize(model.items());
+  for (std::size_t t = 0; t < steal_items_.size(); ++t) {
+    steal_index_[steal_items_[t]] = static_cast<std::uint32_t>(t);
+  }
+
+  // Same ASGD inner loop as the owned path, with Q indexed through the
+  // packed scratch.  P rows are the victim's exclusive rows; the stealing
+  // scheduler's row claim guarantees no other in-flight chunk overlaps
+  // them, so the in-place update stays race-free.
+  constexpr std::size_t kPrefetchAhead = 4;
+  for (std::size_t idx = 0; idx < entries.size(); ++idx) {
+    if (idx + kPrefetchAhead < entries.size()) {
+      const auto& f = entries[idx + kPrefetchAhead];
+      mf::sgd_prefetch_rows(model.p(f.u),
+                            &steal_q_[std::size_t(steal_index_[f.i]) * k], k);
+    }
+    const auto& e = entries[idx];
+    mf::sgd_update_dispatch(model.p(e.u),
+                            &steal_q_[std::size_t(steal_index_[e.i]) * k], k,
+                            e.r, lr, reg_p, reg_q);
+  }
+  counter_updates_->add(entries.size());
+  computed_ += entries.size();
+
+  // A non-finite scratch means the P rows just received garbage gradients
+  // too — surface it like the owned path would.
+  if (fault_ != nullptr && fault_->options().divergence_guard &&
+      !mf::all_finite(steal_q_)) {
+    util::log_kv(util::LogLevel::kWarn, "fault.divergence",
+                 {util::kv("worker", id_),
+                  util::kv("epoch", fault_->injector().current_epoch())});
+    throw fault::DivergenceError(id_, fault_->injector().current_epoch());
+  }
+  apply_real_stall(watch.seconds());
+  record_phase(span.stop(), &obs::PhaseTimes::compute_s, hist_compute_);
+  // The scratch Q is dropped here by design (see worker.hpp): the stolen
+  // entries' item-side movement is forfeited for this epoch, the user-side
+  // movement is already in the model.
 }
 
 void TrainWorker::push(Server& server) {

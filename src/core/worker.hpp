@@ -18,12 +18,14 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "comm/strategy.hpp"
 #include "core/server.hpp"
+#include "core/steal_queue.hpp"
 #include "data/rating_matrix.hpp"
 #include "data/schedule.hpp"
 #include "fault/recovery.hpp"
@@ -99,6 +101,51 @@ class TrainWorker {
   /// worker's data share (see Server::sync_q).
   void push(Server& server);
 
+  /// Cuts this worker's (schedule-prepared) slice into ~target_ratings
+  /// chunks for the work-stealing executor: tile-aligned cuts under the
+  /// tiled schedule (ScheduleStats::tile_offsets), user-row-aligned cuts
+  /// otherwise.  Call after prepare_epoch(), on the worker's own thread.
+  std::vector<WorkChunk> make_chunks(std::size_t target_ratings) const;
+
+  /// ASGD over entries [lo, hi) of this worker's own slice — the owned-
+  /// chunk unit of the stealing executor.  Same inner loop as
+  /// compute_chunk, but the range comes from the chunk queue and the
+  /// divergence guard is deferred to guard_divergence() before push (one
+  /// O(|Q|) scan per epoch instead of per chunk).
+  void compute_own_range(Server& server, std::size_t lo, std::size_t hi,
+                         float lr, float reg_p, float reg_q,
+                         util::ThreadPool* pool);
+
+  /// Runs a chunk stolen from `victim` (entries [lo, hi) of the *victim's*
+  /// slice): gathers the touched Q rows from the server into a private
+  /// scratch, then runs the SGD with an asymmetric write policy —
+  ///
+  ///  * P rows update in place at full strength.  They are the victim's
+  ///    exclusive rows (the scheduler's row claim keeps every other
+  ///    in-flight chunk off them), and advancing them is exactly the work
+  ///    the straggler sheds.
+  ///  * Q movement stays in the scratch and is *discarded* at chunk end.
+  ///    The shared items' per-epoch movement budget is already allocated
+  ///    to the replicas' weighted pushes; adding the stolen delta through
+  ///    any other path over-steps it.  Measured on the 4-worker netflix
+  ///    bench (~200 steals): a mid-epoch stripe-locked merge at the
+  ///    victim's weights degraded final RMSE 0.32 -> 0.45 (1.0 weight:
+  ///    1.7), folding the delta into the victim's replica for its own push
+  ///    diverged outright (parallel same-origin deltas sum instead of
+  ///    chaining), while discarding holds 0.324 parity even at 1000+
+  ///    steals and under 4x real stalls.
+  ///
+  /// The scratch still *evolves* within the chunk, so consecutive updates
+  /// of one item inside the chunk see each other, like a sequential pass.
+  void compute_stolen(Server& server, const TrainWorker& victim,
+                      std::size_t lo, std::size_t hi, float lr, float reg_p,
+                      float reg_q);
+
+  /// The compute_chunk divergence check, callable standalone: throws
+  /// fault::DivergenceError when the guard is armed and local Q has gone
+  /// non-finite.  The stealing executor runs it once, pre-push.
+  void guard_divergence();
+
   /// One whole epoch of this worker — pull, then per chunk compute+push,
   /// with the next chunk's pull prefetched during compute when
   /// double-buffering is on.  This is the unit the concurrent executor
@@ -123,6 +170,13 @@ class TrainWorker {
     stall_factor_ = factor > 0.0 ? factor : 1.0;
   }
 
+  /// Real stalls (fault::FaultOptions::real_stalls): the compute phases
+  /// sleep (stall_factor - 1) x their measured time on this thread, and the
+  /// recorded seconds are then taken as-is (no multiplier — the wall clock
+  /// already contains the stall).  Results stay bit-identical either way;
+  /// only time moves.
+  void set_real_stalls(bool on) noexcept { real_stalls_ = on; }
+
   /// This worker's rating slice (global coordinates).
   const data::RatingMatrix& slice() const noexcept { return slice_; }
 
@@ -142,6 +196,12 @@ class TrainWorker {
     item_weights_ = std::move(weights);
   }
 
+  /// The per-item merge weights (empty = scalar sync_weight applies); a
+  /// thief merges a stolen chunk with the *victim's* weights through here.
+  std::span<const float> item_weights_span() const noexcept {
+    return item_weights_;
+  }
+
   /// Wire-transfer accounting for this worker's channel.
   const comm::TransferStats& comm_stats() const { return backend_->stats(); }
 
@@ -159,6 +219,15 @@ class TrainWorker {
   obs::PhaseTimes take_measured() noexcept {
     obs::PhaseTimes out = measured_;
     measured_ = {};
+    return out;
+  }
+
+  /// Ratings this worker actually computed since the last take (its own
+  /// chunks plus anything it stole) — the numerator of effective_gbps once
+  /// stealing decouples work done from work assigned.
+  std::size_t take_computed() noexcept {
+    const std::size_t out = computed_;
+    computed_ = 0;
     return out;
   }
 
@@ -204,9 +273,21 @@ class TrainWorker {
   void transfer_with_retry(std::span<const float> src, std::span<float> dst,
                            const comm::Codec& codec);
 
-  /// Records one phase's wall-clock seconds (stall-inflated).
+  /// The shared ASGD inner loop over `entries[lo, hi)` against this
+  /// worker's local Q (global P in place) — the body of compute_chunk and
+  /// compute_own_range.
+  void sgd_over_own(Server& server, std::span<const data::Rating> entries,
+                    std::size_t lo, std::size_t hi, float lr, float reg_p,
+                    float reg_q, util::ThreadPool* pool);
+
+  /// Records one phase's wall-clock seconds (stall-inflated, unless the
+  /// stall was already real — see set_real_stalls).
   void record_phase(double seconds, double obs::PhaseTimes::*field,
                     obs::Histogram* hist);
+
+  /// Sleeps (stall_factor - 1) x `elapsed_s` when real stalls are armed;
+  /// called at the end of a compute phase, inside its span.
+  void apply_real_stall(double elapsed_s) const;
 
   std::uint32_t id_;
   std::string device_name_;
@@ -229,6 +310,8 @@ class TrainWorker {
   std::vector<float> item_weights_;
   fault::FaultRuntime* fault_ = nullptr;
   double stall_factor_ = 1.0;
+  bool real_stalls_ = false;
+  std::size_t computed_ = 0;  ///< ratings computed since take_computed()
   data::RatingScheduler scheduler_;    ///< kAsIs by default (no-op)
   std::uint32_t sched_epoch_ = 0;      ///< epochs prepared so far
   data::ScheduleStats sched_stats_;    ///< last prepare_epoch() result
@@ -246,6 +329,12 @@ class TrainWorker {
   std::vector<float> packed_recv_;
   std::thread prefetch_thread_;
   std::exception_ptr prefetch_error_;
+  /// Thief-private scratch for stolen chunks: the unique touched items, a
+  /// packed Q working copy, and an item -> packed slot index.  Reused
+  /// across steals, so steady-state steals allocate nothing.
+  std::vector<std::uint32_t> steal_items_;
+  std::vector<float> steal_q_;
+  std::vector<std::uint32_t> steal_index_;
 };
 
 }  // namespace hcc::core

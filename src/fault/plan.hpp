@@ -83,6 +83,14 @@ struct FaultOptions {
   std::uint32_t checkpoint_every = 1;
   std::string checkpoint_dir;
 
+  /// Makes scripted stalls *real*: the stalled worker's compute thread
+  /// sleeps (factor - 1) x its measured compute time per chunk, instead of
+  /// only inflating the recorded phase seconds.  Off by default — virtual
+  /// stalls keep the original injection semantics (identical results,
+  /// identical wall clock); the straggler-recovery benchmarks turn this on
+  /// so work stealing has an actual slowdown to recover from.
+  bool real_stalls = false;
+
   /// NaN/Inf divergence guard on the ASGD inner loop: on detection the run
   /// rolls back to the last checkpoint with a halved learning rate, at
   /// most max_rollbacks times.

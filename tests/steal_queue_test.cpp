@@ -1,0 +1,388 @@
+// Tests for the work-stealing epoch executor: chunk building and the
+// stealing scheduler (suite StealQueue), the gbps-fed chunk-size heuristic
+// (suite Rebalance), and end-to-end training equivalence + fault recovery
+// with stealing on (suite StealTrain).  All three suites run under TSan in
+// CI — the scheduler and the stolen-chunk compute path are the
+// racy-by-construction core of the design.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/hccmf.hpp"
+#include "core/steal_queue.hpp"
+#include "data/datasets.hpp"
+#include "data/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "sim/platform.hpp"
+#include "util/rng.hpp"
+
+namespace hcc::core {
+namespace {
+
+std::vector<data::Rating> ratings_with_users(
+    const std::vector<std::uint32_t>& users) {
+  std::vector<data::Rating> out;
+  out.reserve(users.size());
+  for (std::size_t idx = 0; idx < users.size(); ++idx) {
+    out.push_back({users[idx], static_cast<std::uint32_t>(idx % 7), 1.0f});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suite StealQueue: chunk building and the scheduler.
+
+TEST(StealQueue, BuildChunksAlignsCutsToUserRows) {
+  const auto entries = ratings_with_users({0, 0, 0, 1, 1, 2, 2, 2, 2});
+  const auto chunks = build_chunks(entries, /*owner=*/3, /*target=*/2, {});
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], (WorkChunk{3, 0, 3, 0, 0}));
+  EXPECT_EQ(chunks[1], (WorkChunk{3, 3, 5, 1, 1}));
+  // The last cut would land mid-row at 7; it extends to the row end.
+  EXPECT_EQ(chunks[2], (WorkChunk{3, 5, 9, 2, 2}));
+}
+
+TEST(StealQueue, BuildChunksAlignsCutsToTileBoundaries) {
+  const auto entries =
+      ratings_with_users({5, 5, 1, 1, 9, 9, 9, 2, 2, 2});
+  const std::vector<std::uint32_t> cuts = {4, 7};
+  auto chunks = build_chunks(entries, 0, /*target=*/3, cuts);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], (WorkChunk{0, 0, 4, 1, 5}));
+  EXPECT_EQ(chunks[1], (WorkChunk{0, 4, 7, 9, 9}));
+  EXPECT_EQ(chunks[2], (WorkChunk{0, 7, 10, 2, 2}));
+  // A target past the first boundary skips to the next one — chunks are
+  // always a whole number of tiles.
+  chunks = build_chunks(entries, 0, /*target=*/5, cuts);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].hi, 7u);
+  EXPECT_EQ(chunks[1].hi, 10u);
+}
+
+TEST(StealQueue, BuildChunksCoversEveryEntryExactlyOnce) {
+  util::Rng rng(11);
+  std::vector<data::Rating> entries;
+  for (int idx = 0; idx < 500; ++idx) {
+    entries.push_back({static_cast<std::uint32_t>(rng() % 40),
+                       static_cast<std::uint32_t>(rng() % 30),
+                       1.0f});
+  }
+  for (const std::size_t target : {1, 7, 100, 1000}) {
+    const auto chunks = build_chunks(entries, 0, target, {});
+    std::uint32_t expect_lo = 0;
+    for (const auto& c : chunks) {
+      EXPECT_EQ(c.lo, expect_lo);
+      EXPECT_GT(c.hi, c.lo);
+      std::uint32_t u_min = entries[c.lo].u, u_max = entries[c.lo].u;
+      for (std::uint32_t idx = c.lo; idx < c.hi; ++idx) {
+        u_min = std::min(u_min, entries[idx].u);
+        u_max = std::max(u_max, entries[idx].u);
+      }
+      EXPECT_EQ(c.u_lo, u_min);
+      EXPECT_EQ(c.u_hi, u_max);
+      expect_lo = c.hi;
+    }
+    EXPECT_EQ(expect_lo, entries.size());
+  }
+  EXPECT_TRUE(
+      build_chunks(std::span<const data::Rating>(), 0, 10, {}).empty());
+}
+
+TEST(StealQueue, TiledScheduleExposesTileOffsets) {
+  data::RatingMatrix slice(64, 64);
+  util::Rng rng(3);
+  for (int idx = 0; idx < 400; ++idx) {
+    slice.add(static_cast<std::uint32_t>(rng() % 64),
+              static_cast<std::uint32_t>(rng() % 64), 1.0f);
+  }
+  data::ScheduleOptions opts;
+  opts.policy = data::SchedulePolicy::kTiled;
+  opts.tile_kb = 1;  // tiny budget -> several tiles over a 64x64 matrix
+  const data::RatingScheduler sched(opts, /*k=*/16);
+  const auto stats = sched.prepare(slice, /*epoch=*/0);
+  ASSERT_GE(stats.tiles, 2u);
+  // One boundary between each pair of adjacent occupied tiles.
+  EXPECT_EQ(stats.tile_offsets.size(), std::size_t(stats.tiles) - 1);
+  std::uint32_t prev = 0;
+  for (const std::uint32_t off : stats.tile_offsets) {
+    EXPECT_GT(off, prev);
+    EXPECT_LT(off, slice.nnz());
+    prev = off;
+  }
+}
+
+TEST(StealQueue, OwnerDrainsItsQueueInOrder) {
+  StealScheduler sched(/*n_workers=*/2, /*expected=*/1);
+  const auto entries = ratings_with_users({0, 0, 1, 1, 2, 2});
+  sched.install(0, build_chunks(entries, 0, 2, {}));
+  WorkChunk c;
+  std::uint32_t expect_lo = 0;
+  while (sched.next_chunk(0, c)) {
+    EXPECT_EQ(c.owner, 0u);
+    EXPECT_EQ(c.lo, expect_lo);  // front-to-back: the prepared visit order
+    expect_lo = c.hi;
+    sched.complete(c);
+  }
+  EXPECT_EQ(expect_lo, entries.size());
+  EXPECT_EQ(sched.steals(), 0u);
+}
+
+TEST(StealQueue, ThiefStealsFromTheFullestTail) {
+  StealScheduler sched(/*n_workers=*/3, /*expected=*/3);
+  sched.install(0, build_chunks(ratings_with_users({0, 1, 2, 3}), 0, 1, {}));
+  sched.install(1, build_chunks(ratings_with_users({4, 5}), 1, 1, {}));
+  sched.install(2, {});
+  WorkChunk c;
+  ASSERT_TRUE(sched.next_chunk(2, c));
+  // Worker 0 has the most ratings queued; the steal comes off its *tail*.
+  EXPECT_EQ(c.owner, 0u);
+  EXPECT_EQ(c.lo, 3u);
+  EXPECT_EQ(sched.steals(), 1u);
+  EXPECT_EQ(sched.stolen_ratings(), 1u);
+  sched.complete(c);
+}
+
+TEST(StealQueue, RowClaimSerializesOverlappingChunks) {
+  StealScheduler sched(/*n_workers=*/2, /*expected=*/2);
+  // Both of worker 0's chunks touch user 1: they must never be in flight
+  // together, even across different executing threads.
+  std::vector<WorkChunk> overlapping = {{0, 0, 2, 0, 1}, {0, 2, 4, 1, 2}};
+  sched.install(0, overlapping);
+  sched.install(1, {});
+  WorkChunk own;
+  ASSERT_TRUE(sched.next_chunk(0, own));
+  EXPECT_EQ(own.lo, 0u);
+  // A thief asking now must block on the claim; once the owner completes,
+  // it gets the second chunk.
+  std::atomic<bool> got{false};
+  WorkChunk stolen;
+  std::thread thief([&] {
+    if (sched.next_chunk(1, stolen)) {
+      got.store(true);
+      sched.complete(stolen);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sched.complete(own);
+  thief.join();
+  ASSERT_TRUE(got.load());
+  EXPECT_EQ(stolen.lo, 2u);
+  WorkChunk none;
+  EXPECT_FALSE(sched.next_chunk(0, none));
+}
+
+TEST(StealQueue, AbortReleasesTheRegistrationWait) {
+  StealScheduler sched(/*n_workers=*/2, /*expected=*/2);
+  sched.install(0, build_chunks(ratings_with_users({0, 1}), 0, 1, {}));
+  // Worker 1 never installs (it died at pull); without abort, worker 0
+  // would wait on registration forever.
+  std::atomic<bool> returned{false};
+  std::thread waiter([&] {
+    WorkChunk c;
+    const bool any = sched.next_chunk(0, c);
+    EXPECT_FALSE(any);
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  sched.abort();
+  waiter.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(StealQueue, ConcurrentDrainRunsEveryChunkExactlyOnce) {
+  // 4 workers, worker 0 deliberately slow: every entry must be computed
+  // exactly once, and the fast workers must end up stealing from the slow
+  // one.  This is the TSan stress target for the scheduler itself.
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::uint32_t kRowsPer = 32;
+  constexpr int kEntriesPer = 256;
+  std::vector<std::vector<data::Rating>> slices(kWorkers);
+  util::Rng rng(7);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    for (int idx = 0; idx < kEntriesPer; ++idx) {
+      // Disjoint, sorted user ranges per worker (the row-grid shape).
+      slices[w].push_back(
+          {static_cast<std::uint32_t>(w * kRowsPer + idx / 8),
+           static_cast<std::uint32_t>(rng() % 16), 1.0f});
+    }
+  }
+  StealScheduler sched(kWorkers, kWorkers);
+  std::vector<std::atomic<int>> visits(kWorkers * kEntriesPer);
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      sched.install(w, build_chunks(slices[w], static_cast<std::uint32_t>(w),
+                                    /*target=*/16, {}));
+      WorkChunk c;
+      while (sched.next_chunk(w, c)) {
+        for (std::uint32_t idx = c.lo; idx < c.hi; ++idx) {
+          visits[c.owner * kEntriesPer + idx].fetch_add(1);
+        }
+        if (w == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        sched.complete(c);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  EXPECT_GE(sched.steals(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Suite Rebalance: the measured-bandwidth chunk-size feedback.
+
+TEST(Rebalance, AutoTargetIsOneSixteenthOfTheSlice) {
+  EXPECT_EQ(resolve_chunk_target(1600, 0, 0.0, 0.0), 100u);
+  EXPECT_EQ(resolve_chunk_target(0, 0, 0.0, 0.0), 1u);
+  EXPECT_EQ(resolve_chunk_target(1600, 640, 0.0, 0.0), 640u);
+}
+
+TEST(Rebalance, MeasuredBandwidthScalesTheTarget) {
+  // A worker at 1/4 of the mean bandwidth gets chunks 4x smaller (clamped
+  // at 0.25): more of its backlog is stealable, and its unstealable final
+  // chunk is short.
+  EXPECT_EQ(resolve_chunk_target(1600, 0, 1.0, 4.0), 25u);
+  EXPECT_EQ(resolve_chunk_target(1600, 0, 8.0, 4.0), 200u);
+  // Clamps: a 100x outlier in either direction stays within [0.25, 2].
+  EXPECT_EQ(resolve_chunk_target(1600, 0, 400.0, 4.0), 200u);
+  EXPECT_EQ(resolve_chunk_target(1600, 0, 0.01, 4.0), 25u);
+  // No measurement yet (epoch 0): the unscaled base.
+  EXPECT_EQ(resolve_chunk_target(1600, 0, 0.0, 4.0), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Suite StealTrain: end-to-end training with stealing on.
+
+struct SmallProblem {
+  data::DatasetSpec spec;
+  data::RatingMatrix train;
+  data::RatingMatrix test;
+};
+
+SmallProblem netflix_small(double scale = 0.002) {
+  SmallProblem pr;
+  pr.spec = data::netflix_spec().scaled(scale);
+  data::GeneratorConfig gen;
+  gen.seed = 5;
+  gen.planted_rank = 4;
+  const auto full = data::generate(pr.spec, gen);
+  util::Rng rng(6);
+  auto [train, test] = data::train_test_split(full, 0.1, rng);
+  pr.train = std::move(train);
+  pr.test = std::move(test);
+  return pr;
+}
+
+HccMfConfig quad_cpu_config(const data::DatasetSpec& spec) {
+  HccMfConfig config;
+  config.sgd = mf::SgdConfig::for_dataset(spec.reg_lambda, 0.01f, /*k=*/16);
+  config.sgd.epochs = 8;
+  config.comm.fp16 = false;
+  config.platform = sim::combo(
+      "quad-cpu", {"6242-24T", "6242-24T", "6242-24T", "6242-24T"});
+  for (auto& w : config.platform.workers) w.epoch_overhead_s = 0.0;
+  config.dataset_name = spec.name;
+  config.exec.mode = ExecMode::kParallel;
+  config.exec.steal = true;
+  return config;
+}
+
+TrainReport run(HccMfConfig config, const SmallProblem& pr) {
+  HccMf framework(std::move(config));
+  return framework.train(pr.train, &pr.test);
+}
+
+TEST(StealTrain, ValidationRejectsStealUnderSerial) {
+  HccMfConfig config = quad_cpu_config(data::netflix_spec().scaled(0.001));
+  config.exec.mode = ExecMode::kSerial;
+  const auto errors = config.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].code, ConfigErrorCode::kStealNeedsParallel);
+}
+
+TEST(StealTrain, StealingMatchesNonStealingRmse) {
+  const SmallProblem pr = netflix_small();
+  HccMfConfig no_steal = quad_cpu_config(pr.spec);
+  no_steal.exec.steal = false;
+  const TrainReport base = run(no_steal, pr);
+  const TrainReport stolen = run(quad_cpu_config(pr.spec), pr);
+  ASSERT_FALSE(base.epochs.empty());
+  ASSERT_FALSE(stolen.epochs.empty());
+  const double rmse_base = base.epochs.back().test_rmse;
+  const double rmse_steal = stolen.epochs.back().test_rmse;
+  EXPECT_TRUE(std::isfinite(rmse_steal));
+  // Stealing reorders the async merges; the converged quality must match
+  // the non-stealing executor within the usual ASGD wiggle.
+  EXPECT_NEAR(rmse_steal, rmse_base, 0.05);
+}
+
+TEST(StealTrain, StealCountersStayConsistent) {
+  auto& reg = obs::registry();
+  const std::uint64_t count0 = reg.counter("steal.count").value();
+  const std::uint64_t chunks0 = reg.counter("steal.chunks").value();
+  const std::uint64_t ratings0 = reg.counter("steal.ratings").value();
+  const SmallProblem pr = netflix_small(0.001);
+  (void)run(quad_cpu_config(pr.spec), pr);
+  const std::uint64_t count = reg.counter("steal.count").value() - count0;
+  const std::uint64_t chunks = reg.counter("steal.chunks").value() - chunks0;
+  const std::uint64_t ratings =
+      reg.counter("steal.ratings").value() - ratings0;
+  // One chunk per steal event; a steal always moves at least one rating.
+  EXPECT_EQ(count, chunks);
+  if (count > 0) {
+    EXPECT_GE(ratings, count);
+  }
+  // The imbalance gauge is live after any parallel epoch.
+  EXPECT_GE(reg.gauge("sched.imbalance").value(), 1.0);
+}
+
+TEST(StealTrain, KillRecoveryStillWorksWithStealing) {
+  const SmallProblem pr = netflix_small();
+  HccMfConfig config = quad_cpu_config(pr.spec);
+  config.fault.plan = fault::FaultPlan::parse("kill:w1@e2");
+  const TrainReport report = run(config, pr);
+  EXPECT_EQ(report.fault.recoveries, 1u);
+  ASSERT_EQ(report.fault.dead_workers.size(), 1u);
+  EXPECT_EQ(report.fault.dead_workers[0], 1u);
+  EXPECT_EQ(report.fault.worker_nnz[1], 0u);
+  ASSERT_FALSE(report.epochs.empty());
+  EXPECT_TRUE(std::isfinite(report.epochs.back().test_rmse));
+  EXPECT_LT(report.epochs.back().test_rmse, 1.0);
+}
+
+TEST(StealTrain, TiledScheduleComposesWithStealing) {
+  const SmallProblem pr = netflix_small();
+  HccMfConfig config = quad_cpu_config(pr.spec);
+  config.schedule.policy = data::SchedulePolicy::kTiled;
+  config.schedule.tile_kb = 64;
+  const TrainReport report = run(config, pr);
+  ASSERT_FALSE(report.epochs.empty());
+  EXPECT_TRUE(std::isfinite(report.epochs.back().test_rmse));
+  EXPECT_LT(report.epochs.back().test_rmse, 1.0);
+}
+
+TEST(StealTrain, RealStallsKeepResultsFiniteAndSlowTheStraggler) {
+  const SmallProblem pr = netflix_small(0.001);
+  HccMfConfig config = quad_cpu_config(pr.spec);
+  config.sgd.epochs = 4;
+  config.fault.plan = fault::FaultPlan::parse("stall:w0@e1x4;stall:w0@e2x4");
+  config.fault.real_stalls = true;
+  const TrainReport report = run(config, pr);
+  ASSERT_FALSE(report.epochs.empty());
+  EXPECT_TRUE(std::isfinite(report.epochs.back().test_rmse));
+  // The stall really fired (injections counted), and the run survived it.
+  EXPECT_GE(report.fault.injected, 2u);
+}
+
+}  // namespace
+}  // namespace hcc::core

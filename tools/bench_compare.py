@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench --json-out run against a committed baseline.
+
+Both files use the bench::JsonReport schema:
+
+    {"bench": "...", "meta": {...}, "sections": {"name": [ {row}, ... ]}}
+
+Rows are matched by (section, the row's string-valued fields, ordinal among
+rows with the same string fields) — bench binaries emit rows in a
+deterministic order, so the ordinal disambiguates e.g. the three sizes of a
+simd kernel.  Only *ratio* metrics are compared: fields whose name contains
+"speedup", ends with "_ratio", or is "recovered".  Ratios are
+machine-relative (both runs happen on the same runner), unlike raw wall
+seconds or GB/s, so they are the only fields stable enough to gate CI on.
+
+A metric regresses when it drops by more than --tolerance relative to the
+baseline: (baseline - current) / baseline > tolerance.  Improvements never
+fail.  Rows or metrics present in only one file are reported but don't fail
+the comparison (benches grow sections over time).
+
+Exit status: 0 = within tolerance, 1 = at least one regression, 2 = usage
+or file error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_ratio_metric(name):
+    return "speedup" in name or name.endswith("_ratio") or name == "recovered"
+
+
+def row_key(section, row, ordinal):
+    tags = tuple(sorted((k, v) for k, v in row.items() if isinstance(v, str)))
+    return (section, tags, ordinal)
+
+
+def key_label(key):
+    section, tags, ordinal = key
+    label = ", ".join(f"{k}={v}" for k, v in tags) or f"row {ordinal}"
+    if tags and ordinal:
+        label += f" #{ordinal}"
+    return f"{section}: {label}"
+
+
+def index_rows(doc):
+    rows = {}
+    for section, entries in doc.get("sections", {}).items():
+        seen = {}
+        for row in entries:
+            tags = tuple(sorted(
+                (k, v) for k, v in row.items() if isinstance(v, str)))
+            ordinal = seen.get(tags, 0)
+            seen[tags] = ordinal + 1
+            rows[row_key(section, row, ordinal)] = row
+    return rows
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when ratio metrics regress vs a bench baseline.")
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly produced --json-out file")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="max allowed relative drop (default 0.15)")
+    parser.add_argument("--report", default=None,
+                        help="write the comparison table to this file too")
+    args = parser.parse_args()
+
+    base_doc = load(args.baseline)
+    curr_doc = load(args.current)
+    if base_doc.get("bench") != curr_doc.get("bench"):
+        print(f"bench_compare: bench mismatch: "
+              f"{base_doc.get('bench')!r} vs {curr_doc.get('bench')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    base_rows = index_rows(base_doc)
+    curr_rows = index_rows(curr_doc)
+
+    lines = [f"bench: {base_doc.get('bench')}  tolerance: "
+             f"{args.tolerance:.0%}"]
+    regressions = 0
+    compared = 0
+
+    for key, base_row in sorted(base_rows.items()):
+        curr_row = curr_rows.get(key)
+        if curr_row is None:
+            lines.append(f"MISSING  {key_label(key)} (row absent in current)")
+            continue
+        for metric, base_val in base_row.items():
+            if not is_ratio_metric(metric):
+                continue
+            if not isinstance(base_val, (int, float)):
+                continue
+            curr_val = curr_row.get(metric)
+            if not isinstance(curr_val, (int, float)):
+                lines.append(f"MISSING  {key_label(key)} [{metric}] "
+                             "(metric absent in current)")
+                continue
+            compared += 1
+            drop = ((base_val - curr_val) / base_val) if base_val else 0.0
+            status = "ok"
+            if drop > args.tolerance:
+                status = "REGRESSION"
+                regressions += 1
+            lines.append(
+                f"{status:<10} {key_label(key)} [{metric}] "
+                f"baseline={base_val:.4f} current={curr_val:.4f} "
+                f"change={-drop:+.1%}")
+
+    for key in sorted(set(curr_rows) - set(base_rows)):
+        lines.append(f"NEW      {key_label(key)} (no baseline yet)")
+
+    lines.append(f"compared {compared} ratio metrics, "
+                 f"{regressions} regression(s)")
+    text = "\n".join(lines)
+    print(text)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    sys.exit(1 if regressions else 0)
+
+
+if __name__ == "__main__":
+    main()
