@@ -12,8 +12,19 @@
 // docs/locality.md); --pin pins the parallel executor's node threads
 // round-robin across CPUs.
 //
+// --fault-plan arms elastic membership (docs/fault_tolerance.md): kill:w<N>
+// events address *nodes*, join:w<N>@e<E> re-admits one mid-run, and with
+// --transport=chaos the plan's drop/dup/reorder/delay/disconnect events
+// drive each node's link to the global server.  --link picks the
+// sim::link_by_name preset, --heartbeat-ms / --timeout-ms /
+// --reconnect-budget tune the session timers.
+//
 //   ./cluster_trainer [--nodes=3] [--scale=0.002] [--epochs=8]
 //                     [--local_epochs=1] [--network=100g|10g|ib]
+//                     [--fault-plan=SPEC] [--checkpoint-dir=DIR]
+//                     [--transport=in-process|sim-latency|chaos] [--link=NAME]
+//                     [--heartbeat-ms=MS] [--timeout-ms=MS]
+//                     [--reconnect-budget=N]
 //                     [--exec-mode=serial|parallel] [--stripes=N]
 //                     [--schedule=asis|shuffled|tiled] [--tile-kb=KB] [--pin]
 //                     [--trace-out=trace.json] [--metrics-out=metrics.json]
@@ -75,6 +86,25 @@ int main(int argc, char** argv) {
     for (auto& w : node.platform.workers) w.epoch_overhead_s = 0.0;
   }
 
+  // Elastic membership + transport faults at cluster scope.
+  const std::string fault_plan = cli.get("fault-plan", std::string());
+  if (!fault_plan.empty()) {
+    config.fault.plan = fault::FaultPlan::parse(fault_plan);
+  } else {
+    config.fault.plan = fault::plan_from_env();
+  }
+  config.fault.checkpoint_dir = cli.get("checkpoint-dir", std::string());
+  config.comm.transport.kind = comm::transport_kind_by_name(
+      cli.get("transport", std::string("in-process")));
+  config.comm.transport.link = cli.get("link", std::string("100GbE"));
+  config.comm.transport.heartbeat_ms =
+      cli.get("heartbeat-ms", config.comm.transport.heartbeat_ms);
+  config.comm.transport.timeout_ms =
+      cli.get("timeout-ms", config.comm.transport.timeout_ms);
+  config.comm.transport.reconnect_budget = static_cast<std::uint32_t>(
+      cli.get("reconnect-budget",
+              std::int64_t{config.comm.transport.reconnect_budget}));
+
   std::cout << "cluster: " << config.cluster.name << " ("
             << config.cluster.total_workers() << " devices over " << nodes
             << " nodes)\ndataset: " << spec.name << ", " << train.nnz()
@@ -103,6 +133,23 @@ int main(int argc, char** argv) {
             << util::Table::num(report.updates_per_s / 1e6, 1)
             << " Mupdates/s, utilization "
             << util::Table::num(100 * report.utilization, 1) << "%\n";
+
+  if (!report.dead_nodes.empty() || !report.joined_nodes.empty()) {
+    std::cout << "membership: " << report.recoveries << " recoveries;";
+    for (const auto n : report.dead_nodes) std::cout << " dead:n" << n;
+    for (const auto n : report.joined_nodes) std::cout << " joined:n" << n;
+    std::cout << '\n';
+  }
+  if (config.comm.transport.kind != comm::TransportKind::kInProcess) {
+    auto& reg = obs::registry();
+    std::cout << "transport ("
+              << comm::transport_kind_name(config.comm.transport.kind)
+              << " over " << config.comm.transport.link << "): "
+              << reg.counter("transport.frames").value() << " frames, "
+              << reg.counter("transport.retransmits").value()
+              << " retransmits, " << reg.counter("transport.reconnects").value()
+              << " reconnects\n";
+  }
 
   if (!trace_out.empty()) {
     if (obs::write_chrome_trace(obs::trace(), trace_out)) {

@@ -12,6 +12,13 @@
 // see fault/plan.hpp; HCCMF_FAULT_PLAN works too) and --checkpoint-dir
 // persists epoch-boundary checkpoints for crash recovery.
 //
+// --transport picks the pull/push link ("in-process" default, "sim-latency"
+// for a calibrated link under a reliable session, "chaos" to run the fault
+// plan's drop/dup/reorder/delay/disconnect events); --link names the
+// sim::link_by_name preset, --heartbeat-ms / --timeout-ms /
+// --reconnect-budget tune the session timers (timeout 0 derives
+// max(4 x RTT, 3 x heartbeat) from the cost model).
+//
 // --exec-mode picks how the functional epoch runs (see
 // docs/parallel_execution.md): "serial" (default, deterministic) or
 // "parallel" (per-worker pipeline threads against a striped server merge;
@@ -27,6 +34,8 @@
 //   ./quickstart [--scale=0.002] [--epochs=10] [--k=16] [--verbose]
 //                [--trace-out=trace.json] [--metrics-out=metrics.json]
 //                [--fault-plan=SPEC] [--checkpoint-dir=DIR]
+//                [--transport=in-process|sim-latency|chaos] [--link=NAME]
+//                [--heartbeat-ms=MS] [--timeout-ms=MS] [--reconnect-budget=N]
 //                [--exec-mode=serial|parallel] [--stripes=N]
 //                [--steal] [--chunk=N] [--real-stalls]
 //                [--schedule=asis|shuffled|tiled] [--tile-kb=KB] [--pin]
@@ -88,6 +97,22 @@ int main(int argc, char** argv) {
     config.fault.plan = fault::plan_from_env();
   }
   config.fault.checkpoint_dir = cli.get("checkpoint-dir", std::string());
+
+  // Elastic transport (docs/fault_tolerance.md): what kind of link the
+  // pull/push wire is.  "in-process" (default) keeps the legacy backends
+  // bit-identical; "sim-latency" interposes a reliable session over a
+  // calibrated link; "chaos" additionally runs the fault plan's transport
+  // events (drop/dup/reorder/delay/disconnect) against each worker's link.
+  config.comm.transport.kind = comm::transport_kind_by_name(
+      cli.get("transport", std::string("in-process")));
+  config.comm.transport.link = cli.get("link", std::string("100GbE"));
+  config.comm.transport.heartbeat_ms =
+      cli.get("heartbeat-ms", config.comm.transport.heartbeat_ms);
+  config.comm.transport.timeout_ms =
+      cli.get("timeout-ms", config.comm.transport.timeout_ms);
+  config.comm.transport.reconnect_budget = static_cast<std::uint32_t>(
+      cli.get("reconnect-budget",
+              std::int64_t{config.comm.transport.reconnect_budget}));
 
   // Execution mode: serial (deterministic legacy loop) or parallel
   // (per-worker pipeline threads + striped server merge).
@@ -152,6 +177,19 @@ int main(int argc, char** argv) {
       for (const auto w : f.dead_workers) std::cout << " w" << w;
       std::cout << "  (rows redistributed to survivors)\n";
     }
+  }
+
+  if (config.comm.transport.kind != comm::TransportKind::kInProcess) {
+    auto& reg = obs::registry();
+    std::cout << "transport ("
+              << comm::transport_kind_name(config.comm.transport.kind)
+              << " over " << config.comm.transport.link << "): "
+              << reg.counter("transport.frames").value() << " frames, "
+              << reg.counter("transport.retransmits").value()
+              << " retransmits, " << reg.counter("transport.reconnects").value()
+              << " reconnects, " << reg.counter("transport.dup_discards").value()
+              << " dups discarded, " << reg.counter("transport.drops").value()
+              << " dropped in flight\n";
   }
 
   if (!trace_out.empty()) {

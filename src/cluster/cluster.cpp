@@ -4,17 +4,21 @@
 
 namespace hcc::cluster {
 
-InterconnectSpec infiniband_hdr() {
-  return InterconnectSpec{"IB-HDR", 25.0, 1e-6};
+namespace {
+
+// The presets are the sim layer's calibrated link table (one source of
+// truth — the functional transport reads the same constants).
+InterconnectSpec from_link(const sim::LinkSpec& link) {
+  return InterconnectSpec{link.name, link.bandwidth_gbs, link.latency_s};
 }
 
-InterconnectSpec ethernet_100g() {
-  return InterconnectSpec{"100GbE", 12.5, 10e-6};
-}
+}  // namespace
 
-InterconnectSpec ethernet_10g() {
-  return InterconnectSpec{"10GbE", 1.25, 50e-6};
-}
+InterconnectSpec infiniband_hdr() { return from_link(sim::link_ib_hdr()); }
+
+InterconnectSpec ethernet_100g() { return from_link(sim::link_100gbe()); }
+
+InterconnectSpec ethernet_10g() { return from_link(sim::link_10gbe()); }
 
 double ClusterSpec::ideal_update_rate(const sim::DatasetShape& shape) const {
   double total = 0.0;

@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/membership.hpp"
 #include "core/hccmf.hpp"
+#include "fault/plan.hpp"
 
 namespace hcc::cluster {
 
@@ -45,6 +47,12 @@ struct HierarchicalConfig {
   /// Cache-aware visit order for each node's slice (see data/schedule.hpp);
   /// kAsIs (default) keeps the legacy bit-identical trajectory.
   data::ScheduleOptions schedule;
+  /// Elastic membership + fault tolerance at cluster scope: kill events
+  /// address *nodes*, `join:w<N>@e<E>` re-admits one, chaos transport
+  /// events drive each node's link to the global server, and node death
+  /// (kill or exhausted link) triggers repartition + checkpoint rollback.
+  /// Defaults keep the trainer bit-identical to the pre-elastic behavior.
+  fault::FaultOptions fault;
 };
 
 /// Per-global-epoch timing decomposition.
@@ -65,6 +73,10 @@ struct ClusterReport {
   double utilization = 0.0;
   std::vector<double> test_rmse;         ///< per global epoch (functional)
   std::optional<mf::FactorModel> model;
+  /// Elastic-membership tallies (empty / zero on a fault-free run).
+  std::vector<std::uint32_t> dead_nodes;    ///< ids, in order of death
+  std::vector<std::uint32_t> joined_nodes;  ///< ids, in order of (re)join
+  std::uint64_t recoveries = 0;             ///< node deaths survived
 };
 
 /// Two-level HCC-MF.

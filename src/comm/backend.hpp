@@ -75,6 +75,11 @@ class CommBackend {
 
   virtual std::string name() const = 0;
 
+  /// Epoch cursor for transports whose fault schedule is epoch-addressed
+  /// (SessionComm forwards it to a chaos link); a no-op for the in-process
+  /// backends, so the legacy wire path is untouched.
+  virtual void begin_epoch(std::uint32_t epoch) { (void)epoch; }
+
   const TransferStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 

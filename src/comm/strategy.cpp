@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "comm/session.hpp"
+
 namespace hcc::comm {
 
 PayloadMode effective_mode(const CommConfig& config,
@@ -63,6 +65,19 @@ std::unique_ptr<CommBackend> make_backend(const CommConfig& config) {
   } else {
     backend = std::make_unique<ShmComm>();
   }
+  backend->set_checksum_enabled(config.checksum);
+  return backend;
+}
+
+std::unique_ptr<CommBackend> make_backend(const CommConfig& config,
+                                          std::uint32_t worker) {
+  if (config.transport.kind == TransportKind::kInProcess) {
+    // Bit-identical guarantee: the default transport never interposes the
+    // session protocol on the single-box wire path.
+    return make_backend(config);
+  }
+  auto backend = std::make_unique<SessionComm>(
+      make_transport(config.transport, worker), config.transport, worker);
   backend->set_checksum_enabled(config.checksum);
   return backend;
 }

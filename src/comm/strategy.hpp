@@ -12,6 +12,7 @@
 
 #include "comm/backend.hpp"
 #include "comm/payload.hpp"
+#include "comm/transport.hpp"
 #include "sim/timing.hpp"
 
 namespace hcc::comm {
@@ -39,6 +40,13 @@ struct CommConfig {
                                ///< on corruption.  Enabled by HccMf when a
                                ///< fault plan / checkpoint dir is active.
   BackendKind backend = BackendKind::kShm;
+
+  /// Elastic-transport extension: what kind of link the pull/push wire is.
+  /// The default (kInProcess) routes through the legacy backends above and
+  /// leaves the wire traffic bit-identical to previous releases; the other
+  /// kinds interpose a sequence-numbered session (comm/session.hpp) over a
+  /// simulated-latency or chaos link.
+  TransportConfig transport;
 
   // Timing-model constants, calibrated against Table 5 (see EXPERIMENTS.md):
   /// Fraction of peak bus bandwidth COMM's single-copy path sustains.
@@ -70,5 +78,11 @@ sim::CommPlan make_comm_plan(const CommConfig& config,
 /// Functional objects matching the config.
 std::unique_ptr<Codec> make_codec(const CommConfig& config);
 std::unique_ptr<CommBackend> make_backend(const CommConfig& config);
+
+/// Worker-aware overload: with a non-default transport kind the backend is
+/// a SessionComm over that worker's link (the chaos schedule is addressed
+/// by worker id); kInProcess falls back to the legacy overload.
+std::unique_ptr<CommBackend> make_backend(const CommConfig& config,
+                                          std::uint32_t worker);
 
 }  // namespace hcc::comm

@@ -116,6 +116,38 @@ std::vector<ConfigError> HccMfConfig::validate() const {
            "exec.steal requires exec.mode == parallel (kSerial is the "
            "bit-identical legacy loop)");
   }
+  // Transport settings: a zero heartbeat would spin the session pump, a
+  // timeout at or under the heartbeat interval declares every silence a
+  // dead link, and a zero reconnect budget can never re-establish one.
+  const comm::TransportConfig& tp = comm.transport;
+  if (!(tp.heartbeat_ms > 0.0) || !std::isfinite(tp.heartbeat_ms)) {
+    reject(ConfigErrorCode::kBadHeartbeat,
+           "comm.transport.heartbeat_ms must be finite and > 0");
+  }
+  if (!(tp.timeout_ms >= 0.0) || !std::isfinite(tp.timeout_ms)) {
+    reject(ConfigErrorCode::kBadTransportTimeout,
+           "comm.transport.timeout_ms must be finite and >= 0 (0 derives "
+           "it from the cost model)");
+  } else if (tp.timeout_ms > 0.0 && tp.timeout_ms <= tp.heartbeat_ms) {
+    reject(ConfigErrorCode::kBadTransportTimeout,
+           "comm.transport.timeout_ms must exceed heartbeat_ms (or be 0 "
+           "to derive from the cost model)");
+  }
+  if (!(tp.backoff_base_ms >= 0.0) || !std::isfinite(tp.backoff_base_ms)) {
+    reject(ConfigErrorCode::kBadBackoff,
+           "comm.transport.backoff_base_ms must be finite and >= 0");
+  }
+  if (tp.reconnect_budget == 0) {
+    reject(ConfigErrorCode::kZeroReconnectBudget,
+           "comm.transport.reconnect_budget must be >= 1");
+  }
+  if (tp.kind != comm::TransportKind::kInProcess) {
+    try {
+      (void)sim::link_by_name(tp.link);
+    } catch (const std::invalid_argument& bad) {
+      reject(ConfigErrorCode::kBadTransportLink, bad.what());
+    }
+  }
   return errors;
 }
 
@@ -234,6 +266,16 @@ TrainReport HccMf::simulate(const sim::DatasetShape& shape) {
 TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
                          const data::RatingMatrix* test_ratings) {
   validate_or_throw(config_);
+  // A chaos link and the fault injector run one schedule: whichever side
+  // was configured feeds the other, so the wire faults, the epoch cursor
+  // and the recovery machinery all see the same plan.
+  if (config_.comm.transport.kind == comm::TransportKind::kChaos) {
+    if (config_.comm.transport.plan.empty()) {
+      config_.comm.transport.plan = config_.fault.plan;
+    } else if (config_.fault.plan.empty()) {
+      config_.fault.plan = config_.comm.transport.plan;
+    }
+  }
   // Column-grid case: transpose so the rest of the pipeline is always
   // row-grid ("Transmitting P only" is Q-only on the transpose).
   const bool transpose = train_ratings.cols() > train_ratings.rows();

@@ -48,6 +48,10 @@ enum class ConfigErrorCode {
   kZeroCheckpointCadence,
   kBadTileKb,
   kStealNeedsParallel,
+  kBadHeartbeat,
+  kBadTransportTimeout,
+  kZeroReconnectBudget,
+  kBadTransportLink,
 };
 
 struct ConfigError {

@@ -27,7 +27,7 @@ TrainWorker::TrainWorker(std::uint32_t id, std::string device_name,
       slice_(std::move(slice)),
       streams_(std::max(1u, streams)),
       sparse_(config.sparse),
-      backend_(comm::make_backend(config)) {
+      backend_(comm::make_backend(config, id)) {
   if (sparse_) {
     rebuild_touched();
   }
@@ -129,7 +129,7 @@ void TrainWorker::transfer_with_retry(std::span<const float> src,
       if (fault_ == nullptr) throw;
       fault_->count_checksum_failure();
       if (attempt >= fault_->options().max_retries) {
-        throw fault::TransferFailure(id_, attempt + 1);
+        throw fault::TransferFailure(id_, attempt + 1, backend_->name());
       }
       // The transfer re-reads `src`, so a retry is idempotent.
       fault_->count_retry();
@@ -216,7 +216,12 @@ void TrainWorker::pull_into(Server& server, util::AlignedFloats& q_dst,
 }
 
 void TrainWorker::pull(Server& server) {
-  if (fault_ != nullptr) fault_->injector().check_phase(id_);
+  if (fault_ != nullptr) {
+    fault_->injector().check_phase(id_);
+    // Epoch-addressed transport faults (chaos link) follow the injector's
+    // cursor; a no-op for the in-process backends.
+    backend_->begin_epoch(fault_->injector().current_epoch());
+  }
   obs::ScopedSpan span("pull", obs::kPhaseCategory, track_of(id_));
   ensure_buffers(server);
   pull_into(server, local_q_, snapshot_q_);
@@ -440,6 +445,7 @@ void TrainWorker::push(Server& server) {
   if (fault_ != nullptr) {
     fault_->injector().check_phase(id_);
     fault_->injector().begin_push(id_, last_chunk_);
+    backend_->begin_epoch(fault_->injector().current_epoch());
   }
   obs::ScopedSpan span("push", obs::kPhaseCategory, track_of(id_));
   if (sparse_) {

@@ -205,6 +205,10 @@ class TrainWorker {
   /// Wire-transfer accounting for this worker's channel.
   const comm::TransferStats& comm_stats() const { return backend_->stats(); }
 
+  /// The worker's COMM channel (a SessionComm under a non-default
+  /// transport; tests and reports read its protocol stats through this).
+  const comm::CommBackend& backend() const noexcept { return *backend_; }
+
   /// Wall-clock seconds this worker has spent in each phase since the last
   /// take_measured() — the runtime-observed counterpart of the paper's
   /// T_pull/T_c/T_push/T_sync decomposition.  pull/compute/push accumulate

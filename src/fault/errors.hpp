@@ -39,13 +39,47 @@ class WorkerKilledError final : public WorkerFault {
 };
 
 /// A pull/push channel kept failing after bounded retries: the worker is
-/// unreachable and treated as dead.
+/// unreachable and treated as dead.  The message names the failing link
+/// (backend) so an operator can tell *which* hop exhausted its budget.
 class TransferFailure final : public WorkerFault {
  public:
-  TransferFailure(std::uint32_t worker, std::uint32_t attempts)
-      : WorkerFault(worker, "worker " + std::to_string(worker) +
-                                " transfer failed after " +
-                                std::to_string(attempts) + " attempts") {}
+  TransferFailure(std::uint32_t worker, std::uint32_t attempts,
+                  const std::string& link = "")
+      : WorkerFault(worker,
+                    "worker " + std::to_string(worker) + " transfer" +
+                        (link.empty() ? std::string() : " over link '" + link +
+                                            "'") +
+                        " failed after " + std::to_string(attempts) +
+                        " attempts"),
+        attempts_(attempts),
+        link_(link) {}
+  std::uint32_t attempts() const noexcept { return attempts_; }
+  const std::string& link() const noexcept { return link_; }
+
+ private:
+  std::uint32_t attempts_;
+  std::string link_;
+};
+
+/// A transport session's reconnection budget is exhausted: the link to the
+/// worker is declared dead.  Subclasses WorkerFault so the existing
+/// dead-worker recovery (repartition + rollback) handles it unchanged.
+class LinkDeadError final : public WorkerFault {
+ public:
+  LinkDeadError(std::uint32_t worker, const std::string& link,
+                std::uint32_t attempts)
+      : WorkerFault(worker, "worker " + std::to_string(worker) + " link '" +
+                                link + "' dead after " +
+                                std::to_string(attempts) +
+                                " reconnect attempts"),
+        attempts_(attempts),
+        link_(link) {}
+  std::uint32_t attempts() const noexcept { return attempts_; }
+  const std::string& link() const noexcept { return link_; }
+
+ private:
+  std::uint32_t attempts_;
+  std::string link_;
 };
 
 /// The ASGD inner loop produced non-finite factors (exploding learning

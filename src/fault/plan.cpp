@@ -56,6 +56,18 @@ FaultEvent parse_event(std::string_view token) {
     event.kind = FaultKind::kStall;
   } else if (kind == "corrupt") {
     event.kind = FaultKind::kCorrupt;
+  } else if (kind == "drop") {
+    event.kind = FaultKind::kDrop;
+  } else if (kind == "dup") {
+    event.kind = FaultKind::kDuplicate;
+  } else if (kind == "reorder") {
+    event.kind = FaultKind::kReorder;
+  } else if (kind == "delay") {
+    event.kind = FaultKind::kDelay;
+  } else if (kind == "disconnect") {
+    event.kind = FaultKind::kDisconnect;
+  } else if (kind == "join") {
+    event.kind = FaultKind::kJoin;
   } else {
     bad_spec(token, "unknown kind '" + std::string(kind) + "'");
   }
@@ -82,6 +94,25 @@ FaultEvent parse_event(std::string_view token) {
       event.count = static_cast<std::uint32_t>(take_uint(rest, token, "count"));
       if (event.count == 0) bad_spec(token, "count must be >= 1");
     }
+  } else if (event.kind == FaultKind::kDelay) {
+    expect(rest, 'x', token);
+    event.delay_ticks =
+        static_cast<std::uint32_t>(take_uint(rest, token, "delay ticks"));
+    if (event.delay_ticks == 0) bad_spec(token, "delay ticks must be >= 1");
+    if (!rest.empty() && rest.front() == 'n') {
+      rest.remove_prefix(1);
+      event.count = static_cast<std::uint32_t>(take_uint(rest, token, "count"));
+      if (event.count == 0) bad_spec(token, "count must be >= 1");
+    }
+  } else if (event.kind == FaultKind::kDrop ||
+             event.kind == FaultKind::kDuplicate ||
+             event.kind == FaultKind::kReorder ||
+             event.kind == FaultKind::kDisconnect) {
+    if (!rest.empty() && rest.front() == 'n') {
+      rest.remove_prefix(1);
+      event.count = static_cast<std::uint32_t>(take_uint(rest, token, "count"));
+      if (event.count == 0) bad_spec(token, "count must be >= 1");
+    }
   }
   if (!rest.empty()) {
     bad_spec(token, "trailing characters '" + std::string(rest) + "'");
@@ -96,8 +127,27 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kKill: return "kill";
     case FaultKind::kStall: return "stall";
     case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDisconnect: return "disconnect";
+    case FaultKind::kJoin: return "join";
   }
   return "?";
+}
+
+bool is_transport_fault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+    case FaultKind::kDuplicate:
+    case FaultKind::kReorder:
+    case FaultKind::kDelay:
+    case FaultKind::kDisconnect:
+      return true;
+    default:
+      return false;
+  }
 }
 
 FaultPlan FaultPlan::parse(std::string_view spec) {
@@ -130,6 +180,11 @@ std::string FaultPlan::to_string() const {
       }
     } else if (e.kind == FaultKind::kCorrupt) {
       if (e.chunk != 0) out += "s" + std::to_string(e.chunk);
+      if (e.count != 1) out += "n" + std::to_string(e.count);
+    } else if (e.kind == FaultKind::kDelay) {
+      out += "x" + std::to_string(e.delay_ticks);
+      if (e.count != 1) out += "n" + std::to_string(e.count);
+    } else if (is_transport_fault(e.kind)) {
       if (e.count != 1) out += "n" + std::to_string(e.count);
     }
   }

@@ -17,7 +17,24 @@
 //                               wire at epoch E, pipeline chunk S (default
 //                               0), for the first N delivery attempts
 //                               (default 1 — one retry heals it)
-// Example: "kill:w1@e3;stall:w0@e2x4;corrupt:w2@e1s0n2"
+// Transport faults (chaos transport, comm/transport.hpp; all deterministic
+// first-N-frames semantics, burned once per event across the run):
+//   drop:w<W>@e<E>[n<N>]        worker W's first N wire frames of epoch E
+//                               vanish in flight (default 1)
+//   dup:w<W>@e<E>[n<N>]         ... are delivered twice (receiver dedups)
+//   reorder:w<W>@e<E>[n<N>]     ... are held back and delivered after the
+//                               following frame (swapped pairs)
+//   delay:w<W>@e<E>x<T>[n<N>]   ... are held for T link ticks before
+//                               delivery (long T forces a retransmission)
+//   disconnect:w<W>@e<E>[n<N>]  worker W's link severs at its first frame
+//                               of epoch E; the first N reconnection
+//                               attempts fail (default 1), then the link
+//                               heals and the session replays unacked
+//                               frames.  N >= the reconnect budget kills
+//                               the link for good (membership/recovery).
+//   join:w<W>@e<E>              cluster scope: node W (re)joins the run at
+//                               global epoch E (elastic membership)
+// Example: "kill:w1@e3;stall:w0@e2x4;corrupt:w2@e1s0n2;drop:w0@e1n2"
 #pragma once
 
 #include <cstdint>
@@ -27,9 +44,24 @@
 
 namespace hcc::fault {
 
-enum class FaultKind : std::uint8_t { kKill, kStall, kCorrupt };
+enum class FaultKind : std::uint8_t {
+  kKill,
+  kStall,
+  kCorrupt,
+  // Transport faults (the chaos transport's schedule):
+  kDrop,
+  kDuplicate,
+  kReorder,
+  kDelay,
+  kDisconnect,
+  // Elastic membership (cluster scope):
+  kJoin,
+};
 
 const char* fault_kind_name(FaultKind kind);
+
+/// True for the kinds the chaos transport (comm/transport.hpp) consumes.
+bool is_transport_fault(FaultKind kind);
 
 /// One scripted fault.
 struct FaultEvent {
@@ -38,7 +70,8 @@ struct FaultEvent {
   std::uint32_t epoch = 0;
   std::uint32_t chunk = 0;       ///< corrupt: pipeline chunk (stream) index
   double stall_factor = 1.0;     ///< stall: phase-time multiplier (> 1)
-  std::uint32_t count = 1;       ///< corrupt: consecutive attempts corrupted
+  std::uint32_t count = 1;       ///< corrupt/transport: frames or attempts
+  std::uint32_t delay_ticks = 0; ///< delay: link ticks a frame is held
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };

@@ -1,5 +1,7 @@
 #include "sim/platform.hpp"
 
+#include <stdexcept>
+
 #include "sim/perf_model.hpp"
 
 namespace hcc::sim {
@@ -52,6 +54,30 @@ PlatformSpec combo(const std::string& name,
   p.server = ServerSpec{};
   for (const auto& n : device_names) p.workers.push_back(device_by_name(n));
   return p;
+}
+
+double LinkSpec::rtt_s(std::size_t bytes) const {
+  const double sustained = bandwidth_gbs * efficiency * 1e9;
+  const double serialize_s =
+      sustained > 0.0 ? static_cast<double>(bytes) / sustained : 0.0;
+  return 2.0 * latency_s + serialize_s;
+}
+
+LinkSpec link_local() { return LinkSpec{"local", 16.0, 0.5e-6, 0.9}; }
+
+LinkSpec link_100gbe() { return LinkSpec{"100GbE", 12.5, 10e-6, 0.8}; }
+
+LinkSpec link_10gbe() { return LinkSpec{"10GbE", 1.25, 50e-6, 0.7}; }
+
+LinkSpec link_ib_hdr() { return LinkSpec{"IB-HDR", 25.0, 1e-6, 0.85}; }
+
+LinkSpec link_by_name(const std::string& name) {
+  if (name == "local") return link_local();
+  if (name == "100GbE") return link_100gbe();
+  if (name == "10GbE") return link_10gbe();
+  if (name == "IB-HDR") return link_ib_hdr();
+  throw std::invalid_argument("unknown link preset '" + name +
+                              "' (local, 100GbE, 10GbE, IB-HDR)");
 }
 
 }  // namespace hcc::sim

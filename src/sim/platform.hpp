@@ -36,6 +36,34 @@ struct PlatformSpec {
   double ideal_update_rate(const struct DatasetShape& shape) const;
 };
 
+/// One inter-node link of the scale-out cluster, calibrated the way Table 2
+/// calibrated the intra-box buses: peak bandwidth, per-message latency and
+/// the sustained fraction of peak a streaming transfer actually sees.  The
+/// functional transport layer (comm/transport.hpp) and the cluster timing
+/// model both read these, so the simulated-latency link and the Eq. 1 cost
+/// terms stay in agreement.
+struct LinkSpec {
+  std::string name = "100GbE";
+  double bandwidth_gbs = 12.5;  ///< peak, full duplex, per direction
+  double latency_s = 10e-6;     ///< one-way propagation + stack latency
+  double efficiency = 0.8;      ///< sustained fraction of peak (Table 2 idiom)
+
+  /// Model round-trip time of a `bytes`-sized frame and its (tiny) ack:
+  /// two traversals of the latency plus one payload serialization at the
+  /// sustained bandwidth.
+  double rtt_s(std::size_t bytes) const;
+};
+
+/// Calibrated link presets (Section 4.1's interconnect table, one level up):
+LinkSpec link_local();    ///< in-box loopback (transport tests, ~PCIe-class)
+LinkSpec link_100gbe();   ///< 100 Gb/s Ethernet, 10 us
+LinkSpec link_10gbe();    ///< 10 Gb/s Ethernet, 50 us
+LinkSpec link_ib_hdr();   ///< InfiniBand HDR 200 Gb/s, 1 us
+
+/// Looks a preset up by name ("local", "100GbE", "10GbE", "IB-HDR",
+/// case-sensitive); throws std::invalid_argument otherwise.
+LinkSpec link_by_name(const std::string& name);
+
 /// The paper's workstation in its overall-performance configuration
 /// (Section 4.1: CPU_0 with 16 threads): workers 6242-24T, 6242-16T
 /// (time-sharing the server), 2080, 2080S.
