@@ -35,22 +35,23 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
 /// BENCH_*.json perf trajectory CI archives.  Document shape:
 ///
 ///   {"bench": "<name>",
-///    "meta": {"schema": 2, "schedule": "...", "tile_kb": N, "pin": 0|1,
-///             "key": value, ...},
+///    "meta": {"schema": 3, "schedule": "...", "tile_kb": N, "pin": 0|1,
+///             "codec": "...", "key": value, ...},
 ///    "sections": {"<section>": [{"col": value, ...}, ...], ...}}
 ///
-/// Schema history: v1 had no schema marker; v2 (this PR) stamps "schema"
-/// plus the locality configuration every run carries — the schedule policy,
-/// its tile budget and whether threads were pinned — parsed from the same
-/// argv the bench itself reads, so two BENCH_*.json files are comparable at
-/// a glance even for benches that predate the scheduler.
+/// Schema history: v1 had no schema marker; v2 stamps "schema" plus the
+/// locality configuration every run carries — the schedule policy, its tile
+/// budget and whether threads were pinned — parsed from the same argv the
+/// bench itself reads, so two BENCH_*.json files are comparable at a glance
+/// even for benches that predate the scheduler; v3 adds the wire "codec"
+/// (the --codec flag: auto/fp32/fp16/int8/2bit).
 ///
 /// Cells that parse fully as decimal numbers are emitted as JSON numbers
 /// (so "0.368" stays a number while "18.3x" stays a string).
 class JsonReport {
  public:
   /// Bumped when the document shape or standard meta set changes.
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
 
   /// Reads `--json-out` from argv; disabled (no file written) when absent.
   JsonReport(int argc, const char* const* argv, std::string bench_name)
@@ -62,6 +63,7 @@ class JsonReport {
     meta("tile_kb",
          static_cast<double>(cli.get("tile-kb", std::int64_t{2048})));
     meta("pin", cli.get("pin", false) ? 1.0 : 0.0);
+    meta("codec", cli.get("codec", std::string("auto")));
   }
 
   JsonReport(const JsonReport&) = delete;

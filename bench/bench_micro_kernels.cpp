@@ -87,7 +87,7 @@ template <typename Backend>
 void BM_CommTransfer(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Backend backend;
-  const comm::Fp32Codec codec;
+  comm::Fp32Codec codec;
   util::Rng rng(4);
   std::vector<float> src(n);
   for (auto& v : src) v = static_cast<float>(rng.uniform());

@@ -21,6 +21,7 @@
 //
 //   ./cluster_trainer [--nodes=3] [--scale=0.002] [--epochs=8]
 //                     [--local_epochs=1] [--network=100g|10g|ib]
+//                     [--codec=fp32|fp16|int8|2bit]
 //                     [--fault-plan=SPEC] [--checkpoint-dir=DIR]
 //                     [--transport=in-process|sim-latency|chaos] [--link=NAME]
 //                     [--heartbeat-ms=MS] [--timeout-ms=MS]
@@ -94,6 +95,14 @@ int main(int argc, char** argv) {
     config.fault.plan = fault::plan_from_env();
   }
   config.fault.checkpoint_dir = cli.get("checkpoint-dir", std::string());
+  // Wire codec: fp16 (default), or the error-feedback int8/2bit quantizers
+  // (2bit compresses the node push stream only; pulls ride fp16).
+  const std::string codec_name = cli.get("codec", std::string("auto"));
+  if (!comm::parse_codec_kind(codec_name, config.comm.codec)) {
+    std::cerr << "unknown --codec '" << codec_name
+              << "' (expected fp32, fp16, int8 or 2bit)\n";
+    return 1;
+  }
   config.comm.transport.kind = comm::transport_kind_by_name(
       cli.get("transport", std::string("in-process")));
   config.comm.transport.link = cli.get("link", std::string("100GbE"));

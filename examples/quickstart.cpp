@@ -31,8 +31,14 @@
 // parallel executor's worker threads round-robin across CPUs (NUMA
 // first-touch placement).
 //
+// --codec picks the wire encoding: "fp32", "fp16" (default), "int8" or
+// "2bit" — the latter two are error-feedback quantizers (docs/
+// observability.md lists their comm.codec.* metrics; 2bit compresses the
+// push stream only and pulls at fp16).  Works with any --transport/--link.
+//
 //   ./quickstart [--scale=0.002] [--epochs=10] [--k=16] [--verbose]
 //                [--trace-out=trace.json] [--metrics-out=metrics.json]
+//                [--codec=fp32|fp16|int8|2bit]
 //                [--fault-plan=SPEC] [--checkpoint-dir=DIR]
 //                [--transport=in-process|sim-latency|chaos] [--link=NAME]
 //                [--heartbeat-ms=MS] [--timeout-ms=MS] [--reconnect-budget=N]
@@ -98,6 +104,15 @@ int main(int argc, char** argv) {
   }
   config.fault.checkpoint_dir = cli.get("checkpoint-dir", std::string());
 
+  // Wire codec (docs/observability.md): fp16 is the paper's Strategy 2;
+  // int8 / 2bit are the error-feedback quantizers layered on top of it.
+  const std::string codec_name = cli.get("codec", std::string("auto"));
+  if (!comm::parse_codec_kind(codec_name, config.comm.codec)) {
+    std::cerr << "unknown --codec '" << codec_name
+              << "' (expected fp32, fp16, int8 or 2bit)\n";
+    return 1;
+  }
+
   // Elastic transport (docs/fault_tolerance.md): what kind of link the
   // pull/push wire is.  "in-process" (default) keeps the legacy backends
   // bit-identical; "sim-latency" interposes a reliable session over a
@@ -161,6 +176,24 @@ int main(int argc, char** argv) {
             << util::Table::num(
                    static_cast<double>(report.comm_totals.wire_bytes) / 1e6, 2)
             << " MB in " << report.comm_totals.copies << " transfers\n";
+
+  // Achieved codec compression over the whole run: raw fp32 bytes handed to
+  // encode() vs bytes that actually hit the wire (keyframes included, so
+  // this is the honest end-to-end ratio, not the steady-state one).
+  {
+    auto& reg = obs::registry();
+    const double raw =
+        static_cast<double>(reg.counter("comm.codec.raw_bytes").value());
+    const double wire =
+        static_cast<double>(reg.counter("comm.codec.wire_bytes").value());
+    if (wire > 0.0) {
+      std::cout << "codec (" << comm::codec_kind_name(
+                       comm::effective_codec(config.comm))
+                << "): " << util::Table::num(raw / 1e6, 2) << " MB raw -> "
+                << util::Table::num(wire / 1e6, 2) << " MB encoded ("
+                << util::Table::num(raw / wire, 2) << "x compression)\n";
+    }
+  }
 
   const std::string drift = core::format_drift_table(report);
   if (!drift.empty()) std::cout << '\n' << drift;

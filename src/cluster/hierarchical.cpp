@@ -64,10 +64,16 @@ GlobalEpochTiming HierarchicalHcc::time_global_epoch(
   // Level 2: global Q exchange over the network (links are parallel, so
   // the per-node transfer time is the exposed one) ...
   const std::uint64_t q_elements = shape.n * shape.k;
-  double wire = 2.0 * comm::wire_bytes(q_elements, config_.comm.fp16);
+  const comm::CodecKind kind = comm::effective_codec(config_.comm);
+  // One Q pull plus one Q push per node; the directions may ride different
+  // codecs (2-bit compresses only the push stream).
+  double wire =
+      comm::wire_bytes(q_elements, comm::pull_codec_kind(config_.comm),
+                       shape.k) +
+      comm::wire_bytes(q_elements, kind, shape.k);
   if (last) {
     // ... the final global push also delivers every node's P rows.
-    wire += comm::wire_bytes(shape.m * shape.k, config_.comm.fp16);
+    wire += comm::wire_bytes(shape.m * shape.k, kind, shape.k);
   }
   timing.network_s = wire / (config_.cluster.network.bandwidth_gbs * 1e9) +
                      2.0 * config_.cluster.network.latency_s;
@@ -445,7 +451,9 @@ ClusterReport HierarchicalHcc::train(const data::RatingMatrix& train_ratings,
                     util::kv("resume_epoch", epoch), util::kv("lr", lr)});
     }
   }
-  if (config_.comm.fp16) global_server.roundtrip_p_through_codec();
+  if (comm::effective_codec(config_.comm) != comm::CodecKind::kFp32) {
+    global_server.roundtrip_p_through_codec();
+  }
 
   const double updates = static_cast<double>(shape.nnz) *
                          config_.local_epochs * config_.sgd.epochs;

@@ -40,7 +40,7 @@ void CommBackend::cross_wire(std::span<std::byte> wire) {
 }
 
 void ShmComm::transfer(std::span<const float> src, std::span<float> dst,
-                       const Codec& codec) {
+                       Codec& codec) {
   assert(src.size() == dst.size());
   ensure_metrics();
   obs::ScopedSpan span("transfer", obs::kCommCategory);
@@ -63,7 +63,7 @@ void ShmComm::transfer(std::span<const float> src, std::span<float> dst,
 }
 
 void BrokerComm::transfer(std::span<const float> src, std::span<float> dst,
-                          const Codec& codec) {
+                          Codec& codec) {
   assert(src.size() == dst.size());
   ensure_metrics();
   obs::ScopedSpan span("transfer", obs::kCommCategory);

@@ -71,7 +71,7 @@ class CommBackend {
   /// buffers using `codec` on the wire.  Direction-agnostic: Pull passes
   /// (global, local), Push passes (local, staging).
   virtual void transfer(std::span<const float> src, std::span<float> dst,
-                        const Codec& codec) = 0;
+                        Codec& codec) = 0;
 
   virtual std::string name() const = 0;
 
@@ -115,7 +115,7 @@ class CommBackend {
 class ShmComm final : public CommBackend {
  public:
   void transfer(std::span<const float> src, std::span<float> dst,
-                const Codec& codec) override;
+                Codec& codec) override;
   std::string name() const override { return "COMM"; }
 
  private:
@@ -130,7 +130,7 @@ class BrokerComm final : public CommBackend {
       : message_bytes_(message_bytes) {}
 
   void transfer(std::span<const float> src, std::span<float> dst,
-                const Codec& codec) override;
+                Codec& codec) override;
   std::string name() const override { return "COMM-P"; }
 
  private:

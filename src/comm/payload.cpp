@@ -4,6 +4,29 @@
 
 namespace hcc::comm {
 
+double wire_bytes(std::uint64_t elements, CodecKind kind,
+                  std::uint32_t row_elems) {
+  const std::uint64_t row = row_elems > 0 ? row_elems : 128;
+  const std::uint64_t blocks = (elements + row - 1) / row;
+  const std::uint64_t rem = elements % row;
+  switch (kind) {
+    case CodecKind::kAuto:
+    case CodecKind::kFp32:
+      return static_cast<double>(elements) * 4.0;
+    case CodecKind::kFp16:
+      return static_cast<double>(elements) * 2.0;
+    case CodecKind::kInt8:
+      return static_cast<double>(blocks * 4 + elements);
+    case CodecKind::kTwoBit: {
+      const std::uint64_t full = elements / row;
+      std::uint64_t payload = full * ((row + 3) / 4);
+      if (rem != 0) payload += (rem + 3) / 4;
+      return static_cast<double>(blocks * 4 + payload);
+    }
+  }
+  return static_cast<double>(elements) * 4.0;
+}
+
 const char* payload_mode_name(PayloadMode mode) {
   switch (mode) {
     case PayloadMode::kPQ: return "P&Q";

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "comm/codec.hpp"
 #include "sim/perf_model.hpp"
 
 namespace hcc::comm {
@@ -39,6 +40,13 @@ std::uint64_t push_elements(const sim::DatasetShape& shape, PayloadMode mode,
 inline double wire_bytes(std::uint64_t elements, bool fp16) {
   return static_cast<double>(elements) * (fp16 ? 2.0 : 4.0);
 }
+
+/// Codec-kind-aware overload for the Eq. 1-5 cost terms.  The quantized
+/// codecs add a 4-byte scale per `row_elems` block; their occasional
+/// keyframes are ignored (steady-state bytes dominate a multi-epoch run).
+/// kAuto is resolved by the caller (see comm::effective_codec).
+double wire_bytes(std::uint64_t elements, CodecKind kind,
+                  std::uint32_t row_elems);
 
 /// Total wire bytes one worker moves (pull + push) across a whole training
 /// run of `epochs` epochs.  This is the quantity whose ratio gives the

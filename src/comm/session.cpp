@@ -303,7 +303,7 @@ void SessionComm::pump_until_acked() {
 }
 
 void SessionComm::transfer(std::span<const float> src, std::span<float> dst,
-                           const Codec& codec) {
+                           Codec& codec) {
   assert(src.size() == dst.size());
   ensure_metrics();
   ensure_transport_metrics();

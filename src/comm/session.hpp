@@ -80,7 +80,7 @@ class SessionComm final : public CommBackend {
               const TransportConfig& config, std::uint32_t worker);
 
   void transfer(std::span<const float> src, std::span<float> dst,
-                const Codec& codec) override;
+                Codec& codec) override;
   std::string name() const override { return "COMM-T"; }
   void begin_epoch(std::uint32_t epoch) override;
 

@@ -17,15 +17,28 @@ std::uint32_t effective_streams(const CommConfig& config,
   return std::max(1u, std::min(config.streams, device.copy_streams));
 }
 
+CodecKind effective_codec(const CommConfig& config) {
+  if (config.codec != CodecKind::kAuto) return config.codec;
+  return config.fp16 ? CodecKind::kFp16 : CodecKind::kFp32;
+}
+
+CodecKind pull_codec_kind(const CommConfig& config) {
+  const CodecKind kind = effective_codec(config);
+  return kind == CodecKind::kTwoBit ? CodecKind::kFp16 : kind;
+}
+
 sim::CommPlan make_comm_plan(const CommConfig& config,
                              const sim::DatasetShape& shape,
                              const sim::DeviceSpec& device, bool last_epoch,
                              double share) {
   const PayloadMode mode = effective_mode(config, shape);
+  const CodecKind kind = effective_codec(config);
   sim::CommPlan plan;
-  plan.pull_bytes = wire_bytes(pull_elements(shape, mode), config.fp16);
+  // Pull and push may ride different codecs (2-bit is push-only).
+  plan.pull_bytes = wire_bytes(pull_elements(shape, mode),
+                               pull_codec_kind(config), shape.k);
   plan.push_bytes =
-      wire_bytes(push_elements(shape, mode, last_epoch), config.fp16);
+      wire_bytes(push_elements(shape, mode, last_epoch), kind, shape.k);
   // The server merges every pushed feature at FP32 width regardless of the
   // wire encoding (Eq. 3 counts elements, not wire bytes).
   plan.sync_bytes = static_cast<double>(
@@ -47,15 +60,35 @@ sim::CommPlan make_comm_plan(const CommConfig& config,
   if (config.backend == BackendKind::kBroker) {
     efficiency /= config.broker_penalty;
   }
-  if (config.fp16) efficiency *= config.fp16_bus_bonus;
+  // The paper's "more data being cached" bonus comes from the payload
+  // shrinking, so every compressed codec earns it, not just fp16.
+  if (kind != CodecKind::kFp32) efficiency *= config.fp16_bus_bonus;
   plan.bus_efficiency = efficiency;
   plan.streams = effective_streams(config, device);
   return plan;
 }
 
-std::unique_ptr<Codec> make_codec(const CommConfig& config) {
-  if (config.fp16) return std::make_unique<Fp16Codec>(config.codec_threads);
+std::unique_ptr<Codec> make_codec(const CommConfig& config,
+                                  std::size_t row_elems) {
+  switch (effective_codec(config)) {
+    case CodecKind::kFp16:
+      return std::make_unique<Fp16Codec>(config.codec_threads);
+    case CodecKind::kInt8:
+      return std::make_unique<Int8Codec>(row_elems, config.codec_threads);
+    case CodecKind::kTwoBit:
+      return std::make_unique<TwoBitCodec>(row_elems, config.codec_threads);
+    case CodecKind::kAuto:
+    case CodecKind::kFp32:
+      break;
+  }
   return std::make_unique<Fp32Codec>();
+}
+
+std::unique_ptr<Codec> make_pull_codec(const CommConfig& config,
+                                       std::size_t row_elems) {
+  CommConfig pull = config;
+  pull.codec = pull_codec_kind(config);
+  return make_codec(pull, row_elems);
 }
 
 std::unique_ptr<CommBackend> make_backend(const CommConfig& config) {

@@ -23,8 +23,13 @@ enum class BackendKind { kShm, kBroker };
 struct CommConfig {
   bool reduce_payload = true;  ///< Strategy 1: Q-only / P-only
   bool fp16 = true;            ///< Strategy 2: binary16 wire encoding
+  /// Wire codec selector.  kAuto (the default) defers to the legacy `fp16`
+  /// flag above, keeping existing configs bit-identical; kInt8/kTwoBit pick
+  /// the error-feedback sub-FP16 codecs (see comm/codec.hpp) — each worker
+  /// then owns stateful per-direction codec instances.
+  CodecKind codec = CodecKind::kAuto;
   std::uint32_t codec_threads = 0;  ///< Strategy 2's "multi-threaded" AVX
-                                    ///< conversion: >= 2 gives Fp16Codec an
+                                    ///< conversion: >= 2 gives the codec an
                                     ///< internal pool that slices large
                                     ///< batches; 0/1 converts inline
   std::uint32_t streams = 1;   ///< Strategy 3: requested pipeline depth;
@@ -62,6 +67,20 @@ struct CommConfig {
 PayloadMode effective_mode(const CommConfig& config,
                            const sim::DatasetShape& shape);
 
+/// Resolves CommConfig::codec, mapping kAuto onto the legacy fp16 flag.
+/// Never returns kAuto.
+CodecKind effective_codec(const CommConfig& config);
+
+/// The codec kind the *pull* direction (server -> worker parameter
+/// broadcast) actually uses.  Ternary compression is an update codec: on
+/// the push stream it reaches RMSE parity with fp16, but ternarizing the
+/// parameters a worker trains against injects noise proportional to the
+/// per-epoch factor movement and measurably stalls convergence (tenths of
+/// RMSE on MovieLens-scale runs).  kTwoBit pulls therefore fall back to
+/// fp16 — the standard asymmetry of gradient-compression systems — while
+/// int8 and coarser codecs ride both directions.
+CodecKind pull_codec_kind(const CommConfig& config);
+
 /// Pipeline depth for a device: min(requested, copy engines).  Devices
 /// without a copy engine (plain CPUs) cannot overlap, per Section 3.4.
 std::uint32_t effective_streams(const CommConfig& config,
@@ -75,8 +94,16 @@ sim::CommPlan make_comm_plan(const CommConfig& config,
                              const sim::DeviceSpec& device,
                              bool last_epoch = false, double share = 1.0);
 
-/// Functional objects matching the config.
-std::unique_ptr<Codec> make_codec(const CommConfig& config);
+/// Functional objects matching the config.  `row_elems` sets the quantized
+/// codecs' scale-block size — pass the factor rank k when known (one absmax
+/// scale per Q row); 0 keeps their default.  Stateful codecs come back
+/// fresh (first transfer is a keyframe), one instance per link direction.
+std::unique_ptr<Codec> make_codec(const CommConfig& config,
+                                  std::size_t row_elems = 0);
+
+/// Codec for the pull stream: make_codec with pull_codec_kind applied.
+std::unique_ptr<Codec> make_pull_codec(const CommConfig& config,
+                                       std::size_t row_elems = 0);
 std::unique_ptr<CommBackend> make_backend(const CommConfig& config);
 
 /// Worker-aware overload: with a non-default transport kind the backend is

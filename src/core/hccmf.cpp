@@ -384,7 +384,7 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
   accumulate_timing(report, manager, report.plan, &fault_rt.injector());
 
   const bool quantizing_pq_each_epoch =
-      config_.comm.fp16 &&
+      comm::effective_codec(config_.comm) != comm::CodecKind::kFp32 &&
       comm::effective_mode(config_.comm, shape) == comm::PayloadMode::kPQ;
 
   float lr = config_.sgd.learn_rate;
@@ -609,7 +609,8 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
     }
   }
   // The final push transmits P as well (Strategy 1's closing P&Q push).
-  if (config_.comm.fp16 && !quantizing_pq_each_epoch) {
+  if (comm::effective_codec(config_.comm) != comm::CodecKind::kFp32 &&
+      !quantizing_pq_each_epoch) {
     server.roundtrip_p_through_codec();
   }
   if (test_ratings != nullptr && config_.evaluate_each_epoch &&

@@ -14,7 +14,7 @@ constexpr std::uint32_t kServerTrack = 0;
 
 Server::Server(mf::FactorModel global, const comm::CommConfig& config,
                std::uint32_t stripes)
-    : global_(std::move(global)), codec_(comm::make_codec(config)) {
+    : global_(std::move(global)), codec_(comm::make_codec(config, global_.k())) {
   const std::uint32_t items = std::max(1u, global_.items());
   n_stripes_ = std::clamp(stripes, 1u, items);
   rows_per_stripe_ = (items + n_stripes_ - 1) / n_stripes_;

@@ -41,7 +41,9 @@ class Server {
   mf::FactorModel& model() noexcept { return global_; }
   const mf::FactorModel& model() const noexcept { return global_; }
 
-  const comm::Codec& codec() const noexcept { return *codec_; }
+  /// The server-side codec (the final P&Q roundtrip and legacy callers).
+  /// Non-const: sub-FP16 codecs mutate stream state on every transfer.
+  comm::Codec& codec() noexcept { return *codec_; }
 
   std::uint32_t stripes() const noexcept { return n_stripes_; }
 

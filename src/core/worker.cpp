@@ -27,7 +27,8 @@ TrainWorker::TrainWorker(std::uint32_t id, std::string device_name,
       slice_(std::move(slice)),
       streams_(std::max(1u, streams)),
       sparse_(config.sparse),
-      backend_(comm::make_backend(config, id)) {
+      backend_(comm::make_backend(config, id)),
+      comm_config_(config) {
   if (sparse_) {
     rebuild_touched();
   }
@@ -100,6 +101,11 @@ void TrainWorker::absorb_entries(const std::vector<data::Rating>& entries) {
   // rebuild — not O(entries) incremental add() calls.
   slice_.append(entries);
   if (sparse_) rebuild_touched();
+  // A repartition reshuffles what each packed slot means (and under sparse
+  // push, the packed length): the delta coders' references are stale, so
+  // force the next transfer per direction to re-keyframe.
+  if (pull_codec_ != nullptr) pull_codec_->reset_state();
+  if (push_codec_ != nullptr) push_codec_->reset_state();
 }
 
 void TrainWorker::record_phase(double seconds, double obs::PhaseTimes::*field,
@@ -119,7 +125,7 @@ void TrainWorker::apply_real_stall(double elapsed_s) const {
 
 void TrainWorker::transfer_with_retry(std::span<const float> src,
                                       std::span<float> dst,
-                                      const comm::Codec& codec) {
+                                      comm::Codec& codec) {
   std::uint32_t attempt = 0;
   for (;;) {
     try {
@@ -166,6 +172,12 @@ void TrainWorker::scatter_touched(const std::vector<float>& packed,
 void TrainWorker::ensure_buffers(Server& server) {
   const std::size_t q_size = server.model().q_data().size();
   const std::uint32_t k = server.model().k();
+  if (pull_codec_ == nullptr) {
+    // Built here, not in the constructor: the quantized codecs want the
+    // rank for their per-row scale blocks, and k lives on the server.
+    pull_codec_ = comm::make_pull_codec(comm_config_, k);
+    push_codec_ = comm::make_codec(comm_config_, k);
+  }
   if (local_q_.size() != q_size) {
     local_q_.assign(q_size, 0.0f);
     snapshot_q_.assign(q_size, 0.0f);
@@ -198,15 +210,15 @@ void TrainWorker::pull_into(Server& server, util::AlignedFloats& q_dst,
     } else {
       gather_touched(server.model().q_data(), packed_send_, k);
     }
-    transfer_with_retry(packed_send_, packed_recv_, server.codec());
+    transfer_with_retry(packed_send_, packed_recv_, *pull_codec_);
     scatter_touched(packed_recv_, q_dst, k);
   } else if (parallel_) {
     // Concurrent execution: other workers may be merging right now, so the
     // global read goes through the server's stripe locks.
     server.read_q(pull_staging_);
-    transfer_with_retry(pull_staging_, q_dst, server.codec());
+    transfer_with_retry(pull_staging_, q_dst, *pull_codec_);
   } else {
-    transfer_with_retry(server.model().q_data(), q_dst, server.codec());
+    transfer_with_retry(server.model().q_data(), q_dst, *pull_codec_);
   }
   // The snapshot is what this worker *received* (post-codec), so the later
   // delta merge cancels the pull's quantization exactly.  Under sparse
@@ -451,12 +463,12 @@ void TrainWorker::push(Server& server) {
   if (sparse_) {
     const std::uint32_t k = server.model().k();
     gather_touched(local_q_, packed_send_, k);
-    transfer_with_retry(packed_send_, packed_recv_, server.codec());
+    transfer_with_retry(packed_send_, packed_recv_, *push_codec_);
     // Untouched rows carry the snapshot, so their merge delta is zero.
     std::copy(snapshot_q_.begin(), snapshot_q_.end(), push_staging_.begin());
     scatter_touched(packed_recv_, push_staging_, k);
   } else {
-    transfer_with_retry(local_q_, push_staging_, server.codec());
+    transfer_with_retry(local_q_, push_staging_, *push_codec_);
   }
   if (fault_ != nullptr) fault_->injector().end_push(id_);
   record_phase(span.stop(), &obs::PhaseTimes::push_s, hist_push_);

@@ -69,15 +69,18 @@ LinkSpec link_100gbe() { return LinkSpec{"100GbE", 12.5, 10e-6, 0.8}; }
 
 LinkSpec link_10gbe() { return LinkSpec{"10GbE", 1.25, 50e-6, 0.7}; }
 
+LinkSpec link_1gbe() { return LinkSpec{"1GbE", 0.125, 100e-6, 0.7}; }
+
 LinkSpec link_ib_hdr() { return LinkSpec{"IB-HDR", 25.0, 1e-6, 0.85}; }
 
 LinkSpec link_by_name(const std::string& name) {
   if (name == "local") return link_local();
   if (name == "100GbE") return link_100gbe();
   if (name == "10GbE") return link_10gbe();
+  if (name == "1GbE") return link_1gbe();
   if (name == "IB-HDR") return link_ib_hdr();
   throw std::invalid_argument("unknown link preset '" + name +
-                              "' (local, 100GbE, 10GbE, IB-HDR)");
+                              "' (local, 100GbE, 10GbE, 1GbE, IB-HDR)");
 }
 
 }  // namespace hcc::sim

@@ -58,10 +58,11 @@ struct LinkSpec {
 LinkSpec link_local();    ///< in-box loopback (transport tests, ~PCIe-class)
 LinkSpec link_100gbe();   ///< 100 Gb/s Ethernet, 10 us
 LinkSpec link_10gbe();    ///< 10 Gb/s Ethernet, 50 us
+LinkSpec link_1gbe();     ///< 1 Gb/s commodity Ethernet, 100 us
 LinkSpec link_ib_hdr();   ///< InfiniBand HDR 200 Gb/s, 1 us
 
-/// Looks a preset up by name ("local", "100GbE", "10GbE", "IB-HDR",
-/// case-sensitive); throws std::invalid_argument otherwise.
+/// Looks a preset up by name ("local", "100GbE", "10GbE", "1GbE",
+/// "IB-HDR", case-sensitive); throws std::invalid_argument otherwise.
 LinkSpec link_by_name(const std::string& name);
 
 /// The paper's workstation in its overall-performance configuration

@@ -73,6 +73,47 @@ struct KernelTable {
   /// Batch binary16 -> binary32, bit-exact vs util::fp16_to_float.
   void (*fp16_decode)(const util::Half* src, float* dst,
                       std::size_t n) noexcept = nullptr;
+
+  // --- sub-FP16 quantization (error-feedback codecs, comm/codec.hpp) ---
+  // Bit-exactness contract for this group: every entry must match the
+  // scalar reference EXACTLY (not just within ULPs).  The comparisons and
+  // multiplies below are individually exact-roundable, the integer rounding
+  // is round-to-nearest-even on both paths (std::lrintf under the default
+  // rounding mode == vcvtps2dq), and none of them may use FMA — so the
+  // scalar and vector kernels produce identical wire bytes and identical
+  // residual state, which the cross-ISA parity tests assert.
+
+  /// max(|v[i]|) over n floats; 0 for n == 0.  The quantizer's scale probe.
+  float (*absmax)(const float* v, std::size_t n) noexcept = nullptr;
+
+  /// e[i] = (src[i] - ref[i]) + residual[i]: the error-feedback delta the
+  /// quantizers encode (evaluated in exactly that association).
+  void (*ef_delta)(const float* src, const float* ref, const float* residual,
+                   float* e, std::size_t n) noexcept = nullptr;
+
+  /// q[i] = clamp(rne(e[i] * inv_scale), -127, 127).
+  void (*int8_encode)(const float* e, float inv_scale, std::int8_t* q,
+                      std::size_t n) noexcept = nullptr;
+
+  /// The int8 decode-commit: dq = q[i]*scale; dst[i] = ref[i] + dq;
+  /// residual[i] = e[i] - dq; ref[i] = dst[i].  `e` is the encoder-side
+  /// delta scratch (encoder and decoder share one codec instance here).
+  void (*int8_commit)(const std::int8_t* q, float scale, const float* e,
+                      float* ref, float* residual, float* dst,
+                      std::size_t n) noexcept = nullptr;
+
+  /// 2-bit threshold codes, 4 per byte, little-endian within the byte
+  /// (element j of a byte occupies bits [2j, 2j+2)): 0 -> 0, 1 -> +t,
+  /// 2 -> -t, where code(e) = e > t ? 1 : (e < -t ? 2 : 0).  The tail of a
+  /// partial byte is zero-filled.
+  void (*two_bit_encode)(const float* e, float threshold, std::uint8_t* packed,
+                         std::size_t n) noexcept = nullptr;
+
+  /// The 2-bit decode-commit (same state update as int8_commit with
+  /// dq in {-t, 0, +t}).
+  void (*two_bit_commit)(const std::uint8_t* packed, float threshold,
+                         const float* e, float* ref, float* residual,
+                         float* dst, std::size_t n) noexcept = nullptr;
 };
 
 }  // namespace hcc::simd

@@ -14,6 +14,8 @@
 
 #include <immintrin.h>
 
+#include <array>
+
 namespace hcc::simd {
 namespace {
 
@@ -134,6 +136,146 @@ void fp16_decode_avx2(const util::Half* src, float* dst,
   if (i < n) detail::scalar_fp16_decode(src + i, dst + i, n - i);
 }
 
+// --- sub-FP16 quantization (bit-exact vs the scalar references: exact
+// compares/multiplies, RNE integer rounding, no FMA anywhere) ---
+
+float absmax_avx2(const float* v, std::size_t n) noexcept {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  __m256 m = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    m = _mm256_max_ps(m, _mm256_andnot_ps(sign, _mm256_loadu_ps(v + i)));
+  }
+  __m128 lo = _mm_max_ps(_mm256_castps256_ps128(m),
+                         _mm256_extractf128_ps(m, 1));
+  lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  float result = _mm_cvtss_f32(lo);
+  for (; i < n; ++i) {
+    const float a = std::fabs(v[i]);
+    if (a > result) result = a;
+  }
+  return result;
+}
+
+void ef_delta_avx2(const float* src, const float* ref, const float* residual,
+                   float* e, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(src + i), _mm256_loadu_ps(ref + i));
+    _mm256_storeu_ps(e + i, _mm256_add_ps(d, _mm256_loadu_ps(residual + i)));
+  }
+  if (i < n) detail::scalar_ef_delta(src + i, ref + i, residual + i, e + i,
+                                     n - i);
+}
+
+void int8_encode_avx2(const float* e, float inv_scale, std::int8_t* q,
+                      std::size_t n) noexcept {
+  const __m256 vs = _mm256_set1_ps(inv_scale);
+  const __m256i vmax = _mm256_set1_epi32(127);
+  const __m256i vmin = _mm256_set1_epi32(-127);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // vcvtps2dq rounds to nearest-even, matching the scalar lrintf.
+    __m256i vi =
+        _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(e + i), vs));
+    vi = _mm256_min_epi32(_mm256_max_epi32(vi, vmin), vmax);
+    const __m128i w = _mm_packs_epi32(_mm256_castsi256_si128(vi),
+                                      _mm256_extracti128_si256(vi, 1));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(q + i),
+                     _mm_packs_epi16(w, w));
+  }
+  if (i < n) detail::scalar_int8_encode(e + i, inv_scale, q + i, n - i);
+}
+
+void int8_commit_avx2(const std::int8_t* q, float scale, const float* e,
+                      float* ref, float* residual, float* dst,
+                      std::size_t n) noexcept {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vi = _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + i)));
+    const __m256 dq = _mm256_mul_ps(_mm256_cvtepi32_ps(vi), vscale);
+    const __m256 out = _mm256_add_ps(_mm256_loadu_ps(ref + i), dq);
+    _mm256_storeu_ps(residual + i,
+                     _mm256_sub_ps(_mm256_loadu_ps(e + i), dq));
+    _mm256_storeu_ps(ref + i, out);
+    _mm256_storeu_ps(dst + i, out);
+  }
+  if (i < n) detail::scalar_int8_commit(q + i, scale, e + i, ref + i,
+                                        residual + i, dst + i, n - i);
+}
+
+/// kSpread[x] has bit b of x at even position 2b — the movemask-to-codes
+/// interleave (this TU has no BMI2/PDEP; a 256-entry table beats 8 scalar
+/// shifts anyway).
+constexpr auto kSpread = [] {
+  std::array<std::uint16_t, 256> t{};
+  for (unsigned v = 0; v < 256; ++v) {
+    std::uint16_t s = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+      if (v & (1u << b)) s = static_cast<std::uint16_t>(s | (1u << (2 * b)));
+    }
+    t[v] = s;
+  }
+  return t;
+}();
+
+void two_bit_encode_avx2(const float* e, float threshold,
+                         std::uint8_t* packed, std::size_t n) noexcept {
+  const __m256 vt = _mm256_set1_ps(threshold);
+  const __m256 vnt = _mm256_set1_ps(-threshold);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(e + i);
+    const unsigned gt = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_cmp_ps(v, vt, _CMP_GT_OQ)));
+    const unsigned lt = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_cmp_ps(v, vnt, _CMP_LT_OQ)));
+    // code j = gt_j | (lt_j << 1): interleave the two masks bitwise.
+    const std::uint16_t bits = static_cast<std::uint16_t>(
+        kSpread[gt] | static_cast<std::uint16_t>(kSpread[lt] << 1));
+    packed[i / 4] = static_cast<std::uint8_t>(bits);
+    packed[i / 4 + 1] = static_cast<std::uint8_t>(bits >> 8);
+  }
+  if (i < n) detail::scalar_two_bit_encode(e + i, threshold, packed + i / 4,
+                                           n - i);
+}
+
+void two_bit_commit_avx2(const std::uint8_t* packed, float threshold,
+                         const float* e, float* ref, float* residual,
+                         float* dst, std::size_t n) noexcept {
+  const __m256 vt = _mm256_set1_ps(threshold);
+  const __m256 vnt = _mm256_set1_ps(-threshold);
+  const __m256i shifts = _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14);
+  const __m256i three = _mm256_set1_epi32(3);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i two = _mm256_set1_epi32(2);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int bits = packed[i / 4] | (packed[i / 4 + 1] << 8);
+    const __m256i codes = _mm256_and_si256(
+        _mm256_srlv_epi32(_mm256_set1_epi32(bits), shifts), three);
+    const __m256 pos =
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(codes, one));
+    const __m256 neg =
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(codes, two));
+    const __m256 dq =
+        _mm256_or_ps(_mm256_and_ps(pos, vt), _mm256_and_ps(neg, vnt));
+    const __m256 out = _mm256_add_ps(_mm256_loadu_ps(ref + i), dq);
+    _mm256_storeu_ps(residual + i,
+                     _mm256_sub_ps(_mm256_loadu_ps(e + i), dq));
+    _mm256_storeu_ps(ref + i, out);
+    _mm256_storeu_ps(dst + i, out);
+  }
+  if (i < n) {
+    detail::scalar_two_bit_commit(packed + i / 4, threshold, e + i, ref + i,
+                                  residual + i, dst + i, n - i);
+  }
+}
+
 }  // namespace
 
 const KernelTable& avx2_kernels() noexcept {
@@ -147,6 +289,12 @@ const KernelTable& avx2_kernels() noexcept {
       all_finite_avx2,
       fp16_encode_avx2,
       fp16_decode_avx2,
+      absmax_avx2,
+      ef_delta_avx2,
+      int8_encode_avx2,
+      int8_commit_avx2,
+      two_bit_encode_avx2,
+      two_bit_commit_avx2,
   };
   return table;
 }

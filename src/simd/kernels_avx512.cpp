@@ -14,6 +14,8 @@
 
 #include <immintrin.h>
 
+#include <array>
+
 namespace hcc::simd {
 namespace {
 
@@ -115,6 +117,145 @@ void fp16_decode_avx512(const util::Half* src, float* dst,
   if (i < n) detail::scalar_fp16_decode(src + i, dst + i, n - i);
 }
 
+// --- sub-FP16 quantization (bit-exact vs the scalar references: exact
+// compares/multiplies, RNE integer rounding, no FMA anywhere) ---
+
+float absmax_avx512(const float* v, std::size_t n) noexcept {
+  __m512 m = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    m = _mm512_max_ps(m, _mm512_abs_ps(_mm512_loadu_ps(v + i)));
+  }
+  float result = _mm512_reduce_max_ps(m);
+  for (; i < n; ++i) {
+    const float a = std::fabs(v[i]);
+    if (a > result) result = a;
+  }
+  return result;
+}
+
+void ef_delta_avx512(const float* src, const float* ref,
+                     const float* residual, float* e, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 d =
+        _mm512_sub_ps(_mm512_loadu_ps(src + i), _mm512_loadu_ps(ref + i));
+    _mm512_storeu_ps(e + i, _mm512_add_ps(d, _mm512_loadu_ps(residual + i)));
+  }
+  if (i < n) detail::scalar_ef_delta(src + i, ref + i, residual + i, e + i,
+                                     n - i);
+}
+
+void int8_encode_avx512(const float* e, float inv_scale, std::int8_t* q,
+                        std::size_t n) noexcept {
+  const __m512 vs = _mm512_set1_ps(inv_scale);
+  const __m512i vmax = _mm512_set1_epi32(127);
+  const __m512i vmin = _mm512_set1_epi32(-127);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // vcvtps2dq rounds to nearest-even, matching the scalar lrintf.
+    __m512i vi =
+        _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(e + i), vs));
+    vi = _mm512_min_epi32(_mm512_max_epi32(vi, vmin), vmax);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(q + i),
+                     _mm512_cvtsepi32_epi8(vi));
+  }
+  if (i < n) detail::scalar_int8_encode(e + i, inv_scale, q + i, n - i);
+}
+
+void int8_commit_avx512(const std::int8_t* q, float scale, const float* e,
+                        float* ref, float* residual, float* dst,
+                        std::size_t n) noexcept {
+  const __m512 vscale = _mm512_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i vi = _mm512_cvtepi8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i)));
+    const __m512 dq = _mm512_mul_ps(_mm512_cvtepi32_ps(vi), vscale);
+    const __m512 out = _mm512_add_ps(_mm512_loadu_ps(ref + i), dq);
+    _mm512_storeu_ps(residual + i,
+                     _mm512_sub_ps(_mm512_loadu_ps(e + i), dq));
+    _mm512_storeu_ps(ref + i, out);
+    _mm512_storeu_ps(dst + i, out);
+  }
+  if (i < n) detail::scalar_int8_commit(q + i, scale, e + i, ref + i,
+                                        residual + i, dst + i, n - i);
+}
+
+/// kSpread[x] has bit b of x at even position 2b — the compare-mask to
+/// packed-codes interleave (only AVX-512F is compiled in, so no vpdep).
+constexpr auto kSpread = [] {
+  std::array<std::uint16_t, 256> t{};
+  for (unsigned v = 0; v < 256; ++v) {
+    std::uint16_t s = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+      if (v & (1u << b)) s = static_cast<std::uint16_t>(s | (1u << (2 * b)));
+    }
+    t[v] = s;
+  }
+  return t;
+}();
+
+inline std::uint32_t spread16(std::uint32_t mask) noexcept {
+  return static_cast<std::uint32_t>(kSpread[mask & 0xff]) |
+         (static_cast<std::uint32_t>(kSpread[(mask >> 8) & 0xff]) << 16);
+}
+
+void two_bit_encode_avx512(const float* e, float threshold,
+                           std::uint8_t* packed, std::size_t n) noexcept {
+  const __m512 vt = _mm512_set1_ps(threshold);
+  const __m512 vnt = _mm512_set1_ps(-threshold);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_loadu_ps(e + i);
+    const std::uint32_t gt = _mm512_cmp_ps_mask(v, vt, _CMP_GT_OQ);
+    const std::uint32_t lt = _mm512_cmp_ps_mask(v, vnt, _CMP_LT_OQ);
+    // code j = gt_j | (lt_j << 1): interleave the two masks bitwise.
+    const std::uint32_t bits = spread16(gt) | (spread16(lt) << 1);
+    packed[i / 4] = static_cast<std::uint8_t>(bits);
+    packed[i / 4 + 1] = static_cast<std::uint8_t>(bits >> 8);
+    packed[i / 4 + 2] = static_cast<std::uint8_t>(bits >> 16);
+    packed[i / 4 + 3] = static_cast<std::uint8_t>(bits >> 24);
+  }
+  if (i < n) detail::scalar_two_bit_encode(e + i, threshold, packed + i / 4,
+                                           n - i);
+}
+
+void two_bit_commit_avx512(const std::uint8_t* packed, float threshold,
+                           const float* e, float* ref, float* residual,
+                           float* dst, std::size_t n) noexcept {
+  const __m512 vt = _mm512_set1_ps(threshold);
+  const __m512 vnt = _mm512_set1_ps(-threshold);
+  const __m512i shifts = _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18,
+                                           20, 22, 24, 26, 28, 30);
+  const __m512i three = _mm512_set1_epi32(3);
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i two = _mm512_set1_epi32(2);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const std::uint32_t bits =
+        static_cast<std::uint32_t>(packed[i / 4]) |
+        (static_cast<std::uint32_t>(packed[i / 4 + 1]) << 8) |
+        (static_cast<std::uint32_t>(packed[i / 4 + 2]) << 16) |
+        (static_cast<std::uint32_t>(packed[i / 4 + 3]) << 24);
+    const __m512i codes = _mm512_and_si512(
+        _mm512_srlv_epi32(_mm512_set1_epi32(static_cast<int>(bits)), shifts),
+        three);
+    __m512 dq = _mm512_setzero_ps();
+    dq = _mm512_mask_mov_ps(dq, _mm512_cmpeq_epi32_mask(codes, one), vt);
+    dq = _mm512_mask_mov_ps(dq, _mm512_cmpeq_epi32_mask(codes, two), vnt);
+    const __m512 out = _mm512_add_ps(_mm512_loadu_ps(ref + i), dq);
+    _mm512_storeu_ps(residual + i,
+                     _mm512_sub_ps(_mm512_loadu_ps(e + i), dq));
+    _mm512_storeu_ps(ref + i, out);
+    _mm512_storeu_ps(dst + i, out);
+  }
+  if (i < n) {
+    detail::scalar_two_bit_commit(packed + i / 4, threshold, e + i, ref + i,
+                                  residual + i, dst + i, n - i);
+  }
+}
+
 }  // namespace
 
 const KernelTable& avx512_kernels() noexcept {
@@ -128,6 +269,12 @@ const KernelTable& avx512_kernels() noexcept {
       all_finite_avx512,
       fp16_encode_avx512,
       fp16_decode_avx512,
+      absmax_avx512,
+      ef_delta_avx512,
+      int8_encode_avx512,
+      int8_commit_avx512,
+      two_bit_encode_avx512,
+      two_bit_commit_avx512,
   };
   return table;
 }

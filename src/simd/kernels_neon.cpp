@@ -112,6 +112,76 @@ void fp16_decode_neon(const util::Half* src, float* dst,
   if (i < n) detail::scalar_fp16_decode(src + i, dst + i, n - i);
 }
 
+// --- sub-FP16 quantization (bit-exact vs the scalar references: exact
+// compares/multiplies, RNE integer rounding, no FMA anywhere) ---
+
+float absmax_neon(const float* v, std::size_t n) noexcept {
+  float32x4_t m = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m = vmaxq_f32(m, vabsq_f32(vld1q_f32(v + i)));
+  }
+  float result = vmaxvq_f32(m);
+  for (; i < n; ++i) {
+    const float a = std::fabs(v[i]);
+    if (a > result) result = a;
+  }
+  return result;
+}
+
+void ef_delta_neon(const float* src, const float* ref, const float* residual,
+                   float* e, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t d = vsubq_f32(vld1q_f32(src + i), vld1q_f32(ref + i));
+    vst1q_f32(e + i, vaddq_f32(d, vld1q_f32(residual + i)));
+  }
+  if (i < n) detail::scalar_ef_delta(src + i, ref + i, residual + i, e + i,
+                                     n - i);
+}
+
+void int8_encode_neon(const float* e, float inv_scale, std::int8_t* q,
+                      std::size_t n) noexcept {
+  const float32x4_t vs = vdupq_n_f32(inv_scale);
+  const int32x4_t vmax = vdupq_n_s32(127);
+  const int32x4_t vmin = vdupq_n_s32(-127);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // vcvtnq rounds to nearest-even, matching the scalar lrintf.
+    int32x4_t a = vcvtnq_s32_f32(vmulq_f32(vld1q_f32(e + i), vs));
+    int32x4_t b = vcvtnq_s32_f32(vmulq_f32(vld1q_f32(e + i + 4), vs));
+    a = vminq_s32(vmaxq_s32(a, vmin), vmax);
+    b = vminq_s32(vmaxq_s32(b, vmin), vmax);
+    const int16x8_t w = vcombine_s16(vmovn_s32(a), vmovn_s32(b));
+    vst1_s8(q + i, vmovn_s16(w));
+  }
+  if (i < n) detail::scalar_int8_encode(e + i, inv_scale, q + i, n - i);
+}
+
+void int8_commit_neon(const std::int8_t* q, float scale, const float* e,
+                      float* ref, float* residual, float* dst,
+                      std::size_t n) noexcept {
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t w = vmovl_s8(vld1_s8(q + i));
+    const int32x4_t lo = vmovl_s16(vget_low_s16(w));
+    const int32x4_t hi = vmovl_s16(vget_high_s16(w));
+    const float32x4_t dq0 = vmulq_f32(vcvtq_f32_s32(lo), vscale);
+    const float32x4_t dq1 = vmulq_f32(vcvtq_f32_s32(hi), vscale);
+    const float32x4_t out0 = vaddq_f32(vld1q_f32(ref + i), dq0);
+    const float32x4_t out1 = vaddq_f32(vld1q_f32(ref + i + 4), dq1);
+    vst1q_f32(residual + i, vsubq_f32(vld1q_f32(e + i), dq0));
+    vst1q_f32(residual + i + 4, vsubq_f32(vld1q_f32(e + i + 4), dq1));
+    vst1q_f32(ref + i, out0);
+    vst1q_f32(ref + i + 4, out1);
+    vst1q_f32(dst + i, out0);
+    vst1q_f32(dst + i + 4, out1);
+  }
+  if (i < n) detail::scalar_int8_commit(q + i, scale, e + i, ref + i,
+                                        residual + i, dst + i, n - i);
+}
+
 }  // namespace
 
 const KernelTable& neon_kernels() noexcept {
@@ -125,6 +195,15 @@ const KernelTable& neon_kernels() noexcept {
       all_finite_neon,
       fp16_encode_neon,
       fp16_decode_neon,
+      absmax_neon,
+      ef_delta_neon,
+      int8_encode_neon,
+      int8_commit_neon,
+      // NEON has no movemask; the 2-bit pack/unpack would be a lane-by-lane
+      // extract either way, so the portable reference is used as-is (the
+      // commit's float work is memory-bound at 2 bits/value regardless).
+      detail::scalar_two_bit_encode,
+      detail::scalar_two_bit_commit,
   };
   return table;
 }

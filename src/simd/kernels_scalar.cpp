@@ -18,6 +18,12 @@ const KernelTable& scalar_kernels() noexcept {
       detail::scalar_all_finite,
       detail::scalar_fp16_encode,
       detail::scalar_fp16_decode,
+      detail::scalar_absmax,
+      detail::scalar_ef_delta,
+      detail::scalar_int8_encode,
+      detail::scalar_int8_commit,
+      detail::scalar_two_bit_encode,
+      detail::scalar_two_bit_commit,
   };
   return table;
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
@@ -81,6 +82,95 @@ static inline void scalar_fp16_encode(const float* src, util::Half* dst,
 static inline void scalar_fp16_decode(const util::Half* src, float* dst,
                                       std::size_t n) noexcept {
   for (std::size_t i = 0; i < n; ++i) dst[i] = util::fp16_to_float(src[i]);
+}
+
+// --- sub-FP16 quantization references (see kernel_table.hpp's contract:
+// the vector kernels must match these BIT-EXACTLY, so every operation here
+// is individually exact-roundable and FMA-free) ---
+
+static inline float scalar_absmax(const float* v, std::size_t n) noexcept {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(v[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+static inline void scalar_ef_delta(const float* src, const float* ref,
+                                   const float* residual, float* e,
+                                   std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    e[i] = (src[i] - ref[i]) + residual[i];
+  }
+}
+
+static inline void scalar_int8_encode(const float* e, float inv_scale,
+                                      std::int8_t* q, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    // lrintf under the default FP environment is round-to-nearest-even,
+    // exactly what vcvtps2dq does.
+    long v = std::lrintf(e[i] * inv_scale);
+    if (v > 127) v = 127;
+    if (v < -127) v = -127;
+    q[i] = static_cast<std::int8_t>(v);
+  }
+}
+
+static inline void scalar_int8_commit(const std::int8_t* q, float scale,
+                                      const float* e, float* ref,
+                                      float* residual, float* dst,
+                                      std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float dq = static_cast<float>(q[i]) * scale;
+    const float out = ref[i] + dq;
+    residual[i] = e[i] - dq;
+    ref[i] = out;
+    dst[i] = out;
+  }
+}
+
+static inline std::uint8_t scalar_two_bit_code(float e,
+                                               float threshold) noexcept {
+  if (e > threshold) return 1;
+  if (e < -threshold) return 2;
+  return 0;
+}
+
+static inline void scalar_two_bit_encode(const float* e, float threshold,
+                                         std::uint8_t* packed,
+                                         std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    packed[i / 4] = static_cast<std::uint8_t>(
+        scalar_two_bit_code(e[i], threshold) |
+        (scalar_two_bit_code(e[i + 1], threshold) << 2) |
+        (scalar_two_bit_code(e[i + 2], threshold) << 4) |
+        (scalar_two_bit_code(e[i + 3], threshold) << 6));
+  }
+  if (i < n) {
+    std::uint8_t b = 0;
+    for (std::size_t j = 0; i + j < n; ++j) {
+      b |= static_cast<std::uint8_t>(scalar_two_bit_code(e[i + j], threshold)
+                                     << (2 * j));
+    }
+    packed[i / 4] = b;
+  }
+}
+
+static inline void scalar_two_bit_commit(const std::uint8_t* packed,
+                                         float threshold, const float* e,
+                                         float* ref, float* residual,
+                                         float* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned code = (packed[i / 4] >> (2 * (i % 4))) & 3u;
+    const float dq =
+        code == 1 ? threshold : (code == 2 ? -threshold : 0.0f);
+    const float out = ref[i] + dq;
+    residual[i] = e[i] - dq;
+    ref[i] = out;
+    dst[i] = out;
+  }
 }
 
 }  // namespace hcc::simd::detail

@@ -19,7 +19,7 @@ std::vector<float> payload(std::size_t n, std::uint64_t seed) {
 
 TEST(ShmComm, DeliversPayloadLosslesslyWithFp32) {
   ShmComm shm;
-  const Fp32Codec codec;
+  Fp32Codec codec;
   const auto src = payload(10000, 1);
   std::vector<float> dst(src.size());
   shm.transfer(src, dst, codec);
@@ -32,7 +32,7 @@ TEST(BrokerComm, DeliversIdenticalPayloadToShm) {
   // delivery, different cost structure.
   ShmComm shm;
   BrokerComm broker(1 << 12);
-  const Fp32Codec codec;
+  Fp32Codec codec;
   const auto src = payload(10000, 2);
   std::vector<float> via_shm(src.size());
   std::vector<float> via_broker(src.size());
@@ -44,7 +44,7 @@ TEST(BrokerComm, DeliversIdenticalPayloadToShm) {
 
 TEST(ShmComm, CountsOneCopyPerTransfer) {
   ShmComm shm;
-  const Fp32Codec codec;
+  Fp32Codec codec;
   const auto src = payload(100, 3);
   std::vector<float> dst(src.size());
   shm.transfer(src, dst, codec);
@@ -56,7 +56,7 @@ TEST(ShmComm, CountsOneCopyPerTransfer) {
 
 TEST(BrokerComm, CountsThreeCopiesAndMessages) {
   BrokerComm broker(/*message_bytes=*/256);
-  const Fp32Codec codec;
+  Fp32Codec codec;
   const auto src = payload(100, 4);  // 400 wire bytes -> 2 messages
   std::vector<float> dst(src.size());
   broker.transfer(src, dst, codec);
@@ -67,7 +67,7 @@ TEST(BrokerComm, CountsThreeCopiesAndMessages) {
 
 TEST(BrokerComm, MessageCountScalesWithPayload) {
   BrokerComm broker(1024);
-  const Fp32Codec codec;
+  Fp32Codec codec;
   const auto src = payload(1024, 5);  // 4096 bytes -> 4 messages
   std::vector<float> dst(src.size());
   broker.transfer(src, dst, codec);
@@ -76,7 +76,7 @@ TEST(BrokerComm, MessageCountScalesWithPayload) {
 
 TEST(Backends, Fp16TransferHalvesWireBytes) {
   ShmComm shm;
-  const Fp16Codec fp16;
+  Fp16Codec fp16;
   const auto src = payload(1000, 6);
   std::vector<float> dst(src.size());
   shm.transfer(src, dst, fp16);
@@ -89,7 +89,7 @@ TEST(Backends, Fp16TransferHalvesWireBytes) {
 
 TEST(Backends, StatsAccumulateAndReset) {
   ShmComm shm;
-  const Fp32Codec codec;
+  Fp32Codec codec;
   const auto src = payload(10, 7);
   std::vector<float> dst(src.size());
   shm.transfer(src, dst, codec);

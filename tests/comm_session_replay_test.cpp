@@ -44,7 +44,7 @@ TEST(SessionReplay, CleanLinkDeliversExactBytes) {
   config.kind = TransportKind::kSimLatency;
   config.link = "100GbE";
   SessionComm comm = session_over(config);
-  const Fp32Codec codec;
+  Fp32Codec codec;
   const std::vector<float> src = ramp(512);
   std::vector<float> dst(512, 0.0f);
   comm.transfer(src, dst, codec);
@@ -55,7 +55,7 @@ TEST(SessionReplay, CleanLinkDeliversExactBytes) {
 
 TEST(SessionReplay, DuplicateDeliveryIsDedupedIdempotently) {
   SessionComm comm = session_over(chaos_config("dup:w0@e0n3"));
-  const Fp32Codec codec;
+  Fp32Codec codec;
   for (int round = 0; round < 4; ++round) {
     const std::vector<float> src = ramp(64 + static_cast<std::size_t>(round));
     std::vector<float> dst(src.size(), 0.0f);
@@ -69,7 +69,7 @@ TEST(SessionReplay, ReorderedFramesDeliverInSequenceOrder) {
   // The held frame of transfer N is released by transfer N+1's frame (or a
   // heartbeat); the reorder buffer re-sequences them.
   SessionComm comm = session_over(chaos_config("reorder:w0@e0n2"));
-  const Fp32Codec codec;
+  Fp32Codec codec;
   for (int round = 0; round < 4; ++round) {
     const std::vector<float> src = ramp(96);
     std::vector<float> dst(src.size(), 0.0f);
@@ -80,7 +80,7 @@ TEST(SessionReplay, ReorderedFramesDeliverInSequenceOrder) {
 
 TEST(SessionReplay, DroppedFrameHealsByRetransmission) {
   SessionComm comm = session_over(chaos_config("drop:w0@e0n2"));
-  const Fp32Codec codec;
+  Fp32Codec codec;
   const std::vector<float> src = ramp(128);
   std::vector<float> dst(src.size(), 0.0f);
   comm.transfer(src, dst, codec);
@@ -101,7 +101,7 @@ TEST(SessionReplay, CorruptFrameIsDiscardedAndRetransmitted) {
     armed = false;
     wire[0] ^= std::byte{0xff};
   });
-  const Fp32Codec codec;
+  Fp32Codec codec;
   const std::vector<float> src = ramp(64);
   std::vector<float> dst(src.size(), 0.0f);
   comm.transfer(src, dst, codec);
@@ -114,7 +114,7 @@ TEST(SessionReplay, DisconnectReconnectsWithNewSessionAndReplays) {
   TransportConfig config = chaos_config("disconnect:w0@e0n2");
   config.reconnect_budget = 5;
   SessionComm comm = session_over(config);
-  const Fp32Codec codec;
+  Fp32Codec codec;
   const std::vector<float> src = ramp(256);
   std::vector<float> dst(src.size(), 0.0f);
   comm.transfer(src, dst, codec);
@@ -133,7 +133,7 @@ TEST(SessionReplay, ExhaustedReconnectBudgetThrowsLinkDeadError) {
   TransportConfig config = chaos_config("disconnect:w2@e0n99");
   config.reconnect_budget = 3;
   SessionComm comm = session_over(config, /*worker=*/2);
-  const Fp32Codec codec;
+  Fp32Codec codec;
   const std::vector<float> src = ramp(32);
   std::vector<float> dst(src.size(), 0.0f);
   try {

@@ -144,6 +144,72 @@ TEST(Strategy, FactoriesMatchConfig) {
   EXPECT_EQ(make_backend(config)->name(), "COMM");
 }
 
+TEST(Strategy, CodecKindDefersToLegacyFp16Flag) {
+  CommConfig config;
+  config.fp16 = true;
+  EXPECT_EQ(effective_codec(config), CodecKind::kFp16);
+  config.fp16 = false;
+  EXPECT_EQ(effective_codec(config), CodecKind::kFp32);
+  // An explicit kind wins over the flag.
+  config.codec = CodecKind::kTwoBit;
+  EXPECT_EQ(effective_codec(config), CodecKind::kTwoBit);
+}
+
+TEST(Strategy, TwoBitIsPushOnlyPullFallsBackToFp16) {
+  CommConfig config;
+  config.codec = CodecKind::kTwoBit;
+  EXPECT_EQ(pull_codec_kind(config), CodecKind::kFp16);
+  EXPECT_EQ(make_pull_codec(config, 128)->name(), "fp16");
+  EXPECT_EQ(make_codec(config, 128)->name(), "2bit");
+  // int8 holds parity in both directions, so it rides both.
+  config.codec = CodecKind::kInt8;
+  EXPECT_EQ(pull_codec_kind(config), CodecKind::kInt8);
+  EXPECT_EQ(make_pull_codec(config, 128)->name(), "int8");
+}
+
+TEST(Strategy, QuantizedWireBytesMatchSteadyStateLayout) {
+  // 1000 elements in blocks of 128: 8 blocks, each 4 scale bytes.
+  EXPECT_EQ(wire_bytes(1000, CodecKind::kInt8, 128), 8 * 4 + 1000.0);
+  // 2-bit packs 4 codes/byte with per-block tails: 7*32 + 26 payload bytes.
+  EXPECT_EQ(wire_bytes(1000, CodecKind::kTwoBit, 128),
+            8 * 4 + 7 * 32 + 26.0);
+  EXPECT_EQ(wire_bytes(1000, CodecKind::kFp16, 128), 2000.0);
+  EXPECT_EQ(wire_bytes(1000, CodecKind::kFp32, 128), 4000.0);
+}
+
+TEST(Strategy, CommPlanSplitsCodecsByDirection) {
+  CommConfig config;
+  config.codec = CodecKind::kTwoBit;
+  config.sparse = false;
+  const auto shape = netflix_shape();
+  const auto plan = make_comm_plan(config, shape, sim::rtx_2080());
+  const auto mode = effective_mode(config, shape);
+  // Pull rides fp16, push rides the ternary layout.
+  EXPECT_EQ(plan.pull_bytes,
+            wire_bytes(pull_elements(shape, mode), CodecKind::kFp16,
+                       shape.k));
+  EXPECT_EQ(plan.push_bytes,
+            wire_bytes(push_elements(shape, mode, false),
+                       CodecKind::kTwoBit, shape.k));
+  EXPECT_LT(plan.push_bytes, plan.pull_bytes / 6.0);
+}
+
+TEST(Strategy, CompressedCodecsEarnTheBusBonus) {
+  CommConfig fp32_cfg;
+  fp32_cfg.fp16 = false;
+  const auto shape = netflix_shape();
+  const double base =
+      make_comm_plan(fp32_cfg, shape, sim::rtx_2080()).bus_efficiency;
+  for (const CodecKind kind :
+       {CodecKind::kFp16, CodecKind::kInt8, CodecKind::kTwoBit}) {
+    CommConfig config;
+    config.codec = kind;
+    EXPECT_GT(make_comm_plan(config, shape, sim::rtx_2080()).bus_efficiency,
+              base)
+        << codec_kind_name(kind);
+  }
+}
+
 TEST(Payload, ModeNames) {
   EXPECT_STREQ(payload_mode_name(PayloadMode::kPQ), "P&Q");
   EXPECT_STREQ(payload_mode_name(PayloadMode::kQOnly), "Q");

@@ -35,6 +35,8 @@ TEST(Transport, LinkPresetsResolveByNameAndRejectUnknown) {
                    sim::link_10gbe().latency_s);
   EXPECT_DOUBLE_EQ(sim::link_by_name("IB-HDR").latency_s,
                    sim::link_ib_hdr().latency_s);
+  EXPECT_DOUBLE_EQ(sim::link_by_name("1GbE").bandwidth_gbs,
+                   sim::link_1gbe().bandwidth_gbs);
   EXPECT_NO_THROW(sim::link_by_name("local"));
   EXPECT_THROW(sim::link_by_name("carrier-pigeon"), std::invalid_argument);
 }

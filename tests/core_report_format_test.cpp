@@ -79,19 +79,21 @@ TEST(JsonReportSchema, StampsScheduleMetaFromArgv) {
   const std::string path = ::testing::TempDir() + "bench_schema_probe.json";
   const char* argv[] = {"bench",      "--json-out", path.c_str(),
                         "--schedule", "tiled",      "--tile-kb",
-                        "512",        "--pin"};
+                        "512",        "--pin",      "--codec",
+                        "2bit"};
   {
-    hcc::bench::JsonReport report(8, argv, "schema_probe");
+    hcc::bench::JsonReport report(10, argv, "schema_probe");
   }  // destructor writes the document
   std::ifstream in(path);
   ASSERT_TRUE(in.good());
   std::stringstream buf;
   buf << in.rdbuf();
   const std::string doc = buf.str();
-  EXPECT_NE(doc.find("\"schema\":2"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"schema\":3"), std::string::npos) << doc;
   EXPECT_NE(doc.find("\"schedule\":\"tiled\""), std::string::npos) << doc;
   EXPECT_NE(doc.find("\"tile_kb\":512"), std::string::npos) << doc;
   EXPECT_NE(doc.find("\"pin\":1"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"codec\":\"2bit\""), std::string::npos) << doc;
 }
 
 TEST(JsonReportSchema, DefaultsToAsIsUnpinned) {
@@ -107,6 +109,7 @@ TEST(JsonReportSchema, DefaultsToAsIsUnpinned) {
   const std::string doc = buf.str();
   EXPECT_NE(doc.find("\"schedule\":\"asis\""), std::string::npos) << doc;
   EXPECT_NE(doc.find("\"pin\":0"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"codec\":\"auto\""), std::string::npos) << doc;
 }
 
 }  // namespace

@@ -277,6 +277,140 @@ TEST(SimdParity, SgdUpdateToleratesMisalignedRows) {
 }
 
 // ---------------------------------------------------------------------------
+// Quantization kernels: bit-exact against the scalar reference.  The whole
+// group is contracted exact (no FMA, RNE integer rounding), so the quantized
+// codecs produce identical wire bytes and identical error-feedback state on
+// every ISA.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kQuantLens[] = {0, 1, 3, 7, 8, 15, 16, 17, 31, 32,
+                                      33, 100, 128, 1000};
+
+TEST(SimdParity, AbsmaxMatchesScalarExactly) {
+  const KernelTable* scalar = kernels_for(Isa::kScalar);
+  for (const std::size_t n : kQuantLens) {
+    auto v = random_floats(std::max<std::size_t>(n, 1), 71);
+    v.resize(n);
+    if (n > 0) v[n / 2] = -3.5f;  // a negative extremum exercises fabs
+    const float expected = scalar->absmax(v.data(), n);
+    for (const KernelTable* table : available_tables()) {
+      EXPECT_EQ(table->absmax(v.data(), n), expected)
+          << table->name << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdParity, EfDeltaMatchesScalarBitExactly) {
+  const KernelTable* scalar = kernels_for(Isa::kScalar);
+  for (const std::size_t n : kQuantLens) {
+    const auto src = random_floats(n, 72);
+    const auto ref = random_floats(n, 73);
+    const auto residual = random_floats(n, 74);
+    std::vector<float> expected(n);
+    scalar->ef_delta(src.data(), ref.data(), residual.data(), expected.data(),
+                     n);
+    for (const KernelTable* table : available_tables()) {
+      std::vector<float> actual(n);
+      table->ef_delta(src.data(), ref.data(), residual.data(), actual.data(),
+                      n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(actual[i]),
+                  std::bit_cast<std::uint32_t>(expected[i]))
+            << table->name << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdParity, Int8EncodeCommitMatchScalarBitExactly) {
+  const KernelTable* scalar = kernels_for(Isa::kScalar);
+  for (const std::size_t n : kQuantLens) {
+    auto e = random_floats(n, 75);
+    if (n > 2) {
+      e[0] = 0.5f;        // exactly representable extremum
+      e[1] = -0.5f;       // saturates to -127 with inv_scale below
+      e[2] = 0.0019685f;  // near the RNE boundary between codes 0 and 1
+    }
+    const float scale = 0.5f / 127.0f;
+    const float inv_scale = 127.0f / 0.5f;
+    std::vector<std::int8_t> expected_q(n);
+    scalar->int8_encode(e.data(), inv_scale, expected_q.data(), n);
+    const auto ref_in = random_floats(n, 76);
+    for (const KernelTable* table : available_tables()) {
+      std::vector<std::int8_t> q(n);
+      table->int8_encode(e.data(), inv_scale, q.data(), n);
+      ASSERT_EQ(q, expected_q) << table->name << " n=" << n;
+
+      std::vector<float> ref_exp = ref_in;
+      std::vector<float> res_exp(n);
+      std::vector<float> dst_exp(n);
+      scalar->int8_commit(expected_q.data(), scale, e.data(), ref_exp.data(),
+                          res_exp.data(), dst_exp.data(), n);
+      std::vector<float> ref_act = ref_in;
+      std::vector<float> res_act(n);
+      std::vector<float> dst_act(n);
+      table->int8_commit(q.data(), scale, e.data(), ref_act.data(),
+                         res_act.data(), dst_act.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(dst_act[i]),
+                  std::bit_cast<std::uint32_t>(dst_exp[i]))
+            << table->name << " n=" << n << " i=" << i;
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(res_act[i]),
+                  std::bit_cast<std::uint32_t>(res_exp[i]))
+            << table->name << " n=" << n << " i=" << i;
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(ref_act[i]),
+                  std::bit_cast<std::uint32_t>(ref_exp[i]))
+            << table->name << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdParity, TwoBitEncodeCommitMatchScalarBitExactly) {
+  const KernelTable* scalar = kernels_for(Isa::kScalar);
+  for (const std::size_t n : kQuantLens) {
+    auto e = random_floats(n, 77);
+    const float t = 0.15f;
+    if (n > 2) {
+      e[0] = t;       // exactly the threshold: not strictly greater => zero
+      e[1] = -t;      // same on the negative side
+      e[2] = 0.0f;
+    }
+    std::vector<std::uint8_t> expected_packed((n + 3) / 4);
+    scalar->two_bit_encode(e.data(), t, expected_packed.data(), n);
+    const auto ref_in = random_floats(n, 78);
+    for (const KernelTable* table : available_tables()) {
+      std::vector<std::uint8_t> packed((n + 3) / 4);
+      table->two_bit_encode(e.data(), t, packed.data(), n);
+      ASSERT_EQ(packed, expected_packed) << table->name << " n=" << n;
+
+      std::vector<float> ref_exp = ref_in;
+      std::vector<float> res_exp(n);
+      std::vector<float> dst_exp(n);
+      scalar->two_bit_commit(expected_packed.data(), t, e.data(),
+                             ref_exp.data(), res_exp.data(), dst_exp.data(),
+                             n);
+      std::vector<float> ref_act = ref_in;
+      std::vector<float> res_act(n);
+      std::vector<float> dst_act(n);
+      table->two_bit_commit(packed.data(), t, e.data(), ref_act.data(),
+                            res_act.data(), dst_act.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(dst_act[i]),
+                  std::bit_cast<std::uint32_t>(dst_exp[i]))
+            << table->name << " n=" << n << " i=" << i;
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(res_act[i]),
+                  std::bit_cast<std::uint32_t>(res_exp[i]))
+            << table->name << " n=" << n << " i=" << i;
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(ref_act[i]),
+                  std::bit_cast<std::uint32_t>(ref_exp[i]))
+            << table->name << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // all_finite: exact boolean parity.
 // ---------------------------------------------------------------------------
 

@@ -15,8 +15,10 @@ seconds or GB/s, so they are the only fields stable enough to gate CI on.
 
 A metric regresses when it drops by more than --tolerance relative to the
 baseline: (baseline - current) / baseline > tolerance.  Improvements never
-fail.  Rows or metrics present in only one file are reported but don't fail
-the comparison (benches grow sections over time).
+fail.  Schema drift never raises: rows or metrics present in only one file
+get an explicit per-metric "missing in fresh run" / "missing in baseline"
+line and don't fail the comparison (benches grow sections over time; a
+stale baseline just means the new metrics aren't gated yet).
 
 Exit status: 0 = within tolerance, 1 = at least one regression, 2 = usage
 or file error.
@@ -96,8 +98,15 @@ def main():
     for key, base_row in sorted(base_rows.items()):
         curr_row = curr_rows.get(key)
         if curr_row is None:
-            lines.append(f"MISSING  {key_label(key)} (row absent in current)")
+            lines.append(f"MISSING  {key_label(key)} "
+                         "(row missing in fresh run)")
             continue
+        for metric, curr_val in sorted(curr_row.items()):
+            if (is_ratio_metric(metric)
+                    and isinstance(curr_val, (int, float))
+                    and not isinstance(base_row.get(metric), (int, float))):
+                lines.append(f"MISSING  {key_label(key)} [{metric}] "
+                             "(metric missing in baseline)")
         for metric, base_val in base_row.items():
             if not is_ratio_metric(metric):
                 continue
@@ -106,7 +115,7 @@ def main():
             curr_val = curr_row.get(metric)
             if not isinstance(curr_val, (int, float)):
                 lines.append(f"MISSING  {key_label(key)} [{metric}] "
-                             "(metric absent in current)")
+                             "(metric missing in fresh run)")
                 continue
             compared += 1
             drop = ((base_val - curr_val) / base_val) if base_val else 0.0
@@ -120,7 +129,8 @@ def main():
                 f"change={-drop:+.1%}")
 
     for key in sorted(set(curr_rows) - set(base_rows)):
-        lines.append(f"NEW      {key_label(key)} (no baseline yet)")
+        lines.append(f"NEW      {key_label(key)} "
+                     "(row missing in baseline; no gate yet)")
 
     lines.append(f"compared {compared} ratio metrics, "
                  f"{regressions} regression(s)")
