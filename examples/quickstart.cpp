@@ -36,7 +36,12 @@
 // observability.md lists their comm.codec.* metrics; 2bit compresses the
 // push stream only and pulls at fp16).  Works with any --transport/--link.
 //
+// --publish-every=N publishes an immutable serving snapshot of the model
+// every N epochs (docs/serving.md); --store picks its encoding (fp32,
+// fp16 or int8).  The final model is always re-published after training.
+//
 //   ./quickstart [--scale=0.002] [--epochs=10] [--k=16] [--verbose]
+//                [--publish-every=N] [--store=fp32|fp16|int8]
 //                [--trace-out=trace.json] [--metrics-out=metrics.json]
 //                [--codec=fp32|fp16|int8|2bit]
 //                [--fault-plan=SPEC] [--checkpoint-dir=DIR]
@@ -154,6 +159,21 @@ int main(int argc, char** argv) {
   config.schedule.tile_kb = static_cast<std::uint32_t>(
       cli.get("tile-kb", std::int64_t{config.schedule.tile_kb}));
 
+  // Online serving (docs/serving.md): publish read-only model snapshots at
+  // an epoch cadence; concurrent readers query them via serve::TopKEngine
+  // without ever touching the training locks.
+  config.publish_every = static_cast<std::uint32_t>(
+      cli.get("publish-every", std::int64_t{0}));
+  const std::string store_name = cli.get("store", std::string("fp32"));
+  if (!serve::parse_store_kind(store_name, &config.publish_store)) {
+    std::cerr << "unknown --store '" << store_name
+              << "' (expected fp32, fp16 or int8)\n";
+    return 1;
+  }
+  if (config.publish_every > 0) {
+    config.snapshots = std::make_shared<serve::SnapshotRegistry>();
+  }
+
   // 3. Train.
   core::HccMf framework(config);
   const core::TrainReport report = framework.train(train, &test);
@@ -197,6 +217,23 @@ int main(int argc, char** argv) {
 
   const std::string drift = core::format_drift_table(report);
   if (!drift.empty()) std::cout << '\n' << drift;
+
+  if (config.snapshots != nullptr) {
+    const auto snapshot = config.snapshots->current();
+    std::cout << "\nserving: " << config.snapshots->published()
+              << " snapshots published (" << store_name << ", "
+              << util::Table::num(
+                     static_cast<double>(snapshot->store.store_bytes()) / 1e6,
+                     2)
+              << " MB); top-5 for user 0:";
+    serve::TopKEngine engine;
+    const mf::SeenIndex seen(train);
+    for (const auto& rec : engine.top_k(*snapshot, 0, 5, &seen)) {
+      std::cout << "  #" << rec.item << "="
+                << util::Table::num(rec.score, 2);
+    }
+    std::cout << '\n';
+  }
 
   if (config.fault.enabled()) {
     const core::FaultSummary& f = report.fault;

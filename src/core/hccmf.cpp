@@ -13,6 +13,7 @@
 #include "mf/metrics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "serve/metrics.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -147,6 +148,10 @@ std::vector<ConfigError> HccMfConfig::validate() const {
     } catch (const std::invalid_argument& bad) {
       reject(ConfigErrorCode::kBadTransportLink, bad.what());
     }
+  }
+  if (publish_every > 0 && snapshots == nullptr) {
+    reject(ConfigErrorCode::kPublishNeedsRegistry,
+           "publish_every > 0 needs a snapshots registry to publish into");
   }
   return errors;
 }
@@ -318,6 +323,14 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
       resolve_stripes(config_.exec, static_cast<std::uint32_t>(shape.n),
                       slices.size());
   Server server(std::move(model), config_.comm, stripes);
+  // Serving hook: snapshots publish at the epoch barrier below, where the
+  // workers are parked and every factor row is quiescent.
+  const bool publishing =
+      config_.snapshots != nullptr && config_.publish_every > 0;
+  if (publishing) {
+    server.attach_snapshots(config_.snapshots.get(), config_.publish_store);
+  }
+  std::uint32_t last_publish_epoch = 0;
 
   // Fault tolerance: with no plan and no checkpoint dir the runtime is
   // inert — no checksums, no extra wire bytes, no injections — and the
@@ -548,6 +561,21 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
       if (checkpointing && epoch % config_.fault.checkpoint_every == 0) {
         ckpts.save({epoch, lr, config_.sgd.seed, server.model()});
       }
+      // Publish at the cadence boundary (the final epoch's snapshot waits
+      // for the closing P roundtrip below so it matches the delivered
+      // model); queries on earlier snapshots keep their own references.
+      if (publishing) {
+        if (epoch % config_.publish_every == 0 &&
+            epoch < config_.sgd.epochs) {
+          server.publish_snapshot(epoch);
+          last_publish_epoch = epoch;
+        }
+        // Rollback can rewind `epoch` behind the last publish; age 0 then.
+        serve::serve_metrics().snapshot_age_epochs->set(
+            epoch > last_publish_epoch
+                ? static_cast<double>(epoch - last_publish_epoch)
+                : 0.0);
+      }
     } catch (const fault::WorkerFault& dead) {
       // Degraded-mode recovery: mark the worker dead, hand its rows to the
       // survivors (DP1's multiplicative compensation, at row granularity),
@@ -625,6 +653,12 @@ TrainReport HccMf::train(const data::RatingMatrix& train_ratings,
     obs::registry()
         .gauge("train.final_rmse")
         .set(report.epochs.back().test_rmse);
+  }
+  // The delivered model (post P-roundtrip) always becomes the last
+  // snapshot, so serving converges on exactly what train() returns.
+  if (publishing) {
+    server.publish_snapshot(epoch);
+    serve::serve_metrics().snapshot_age_epochs->set(0.0);
   }
 
   for (const auto& w : workers) report.comm_totals += w.comm_stats();

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "fault/plan.hpp"
 #include "mf/model.hpp"
 #include "obs/drift.hpp"
+#include "serve/snapshot.hpp"
 #include "sim/platform.hpp"
 
 namespace hcc::core {
@@ -52,6 +54,7 @@ enum class ConfigErrorCode {
   kBadTransportTimeout,
   kZeroReconnectBudget,
   kBadTransportLink,
+  kPublishNeedsRegistry,
 };
 
 struct ConfigError {
@@ -98,6 +101,17 @@ struct HccMfConfig {
   /// Defaults leave the wire format and training trajectory bit-identical
   /// to a build without the subsystem.
   fault::FaultOptions fault;
+
+  /// Online serving (src/serve/, docs/serving.md): when `snapshots` is set
+  /// and `publish_every` > 0, train() publishes an immutable snapshot of
+  /// P/Q encoded as `publish_store` after every publish_every-th epoch
+  /// (plus the final model after the P codec roundtrip), at the epoch
+  /// barrier where every factor row is quiescent.  Query threads read the
+  /// registry concurrently without ever blocking training.  Defaults (no
+  /// registry) change nothing.
+  std::uint32_t publish_every = 0;
+  serve::StoreKind publish_store = serve::StoreKind::kFp32;
+  std::shared_ptr<serve::SnapshotRegistry> snapshots;
 
   /// Checks the whole config once and returns every violation (empty =
   /// valid).  train()/simulate() call this and throw std::invalid_argument

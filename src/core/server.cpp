@@ -151,4 +151,17 @@ void Server::roundtrip_p_through_codec() {
   codec_->decode(wire, p);
 }
 
+void Server::publish_snapshot(std::uint32_t epoch) {
+  if (snapshots_ == nullptr) return;
+  // Q under the stripe locks (concurrent sync_q stays correct); P straight
+  // from the model — the caller guarantees its writers are parked.
+  read_q(publish_scratch_);
+  auto snapshot = std::make_shared<serve::ModelSnapshot>();
+  snapshot->epoch = epoch;
+  snapshot->store =
+      serve::FactorStore(snapshot_kind_, global_.users(), global_.items(),
+                         global_.k(), global_.p_data(), publish_scratch_);
+  snapshots_->publish(std::move(snapshot));
+}
+
 }  // namespace hcc::core

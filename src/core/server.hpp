@@ -25,6 +25,7 @@
 #include "comm/strategy.hpp"
 #include "mf/model.hpp"
 #include "obs/metrics.hpp"
+#include "serve/snapshot.hpp"
 
 namespace hcc::core {
 
@@ -95,6 +96,25 @@ class Server {
   /// real system.
   void roundtrip_p_through_codec();
 
+  /// Attaches the serving publish hook: subsequent publish_snapshot()
+  /// calls encode the global model as `kind` and swap it into `registry`
+  /// (which the caller keeps alive for the server's lifetime).
+  void attach_snapshots(serve::SnapshotRegistry* registry,
+                        serve::StoreKind kind) noexcept {
+    snapshots_ = registry;
+    snapshot_kind_ = kind;
+  }
+  serve::SnapshotRegistry* snapshots() const noexcept { return snapshots_; }
+
+  /// Encodes the current global P/Q into an immutable serve::ModelSnapshot
+  /// tagged `epoch` and publishes it.  Q is copied under the stripe locks
+  /// (safe against concurrent sync_q); P is read directly, so callers must
+  /// only publish when P writers are parked — the epoch-boundary barrier
+  /// in HccMf::train, where every row is quiescent.  No-op when no
+  /// registry is attached.  Readers of previously published snapshots are
+  /// never blocked: they hold their own references.
+  void publish_snapshot(std::uint32_t epoch);
+
   /// Number of sync_q merges performed (tests assert one per worker-push).
   std::uint64_t sync_count() const noexcept {
     return sync_count_.load(std::memory_order_relaxed);
@@ -147,6 +167,9 @@ class Server {
   /// (serial) runs leave the metrics registry untouched.
   obs::Counter* contention_counter_ = nullptr;
   obs::Counter* locks_counter_ = nullptr;
+  serve::SnapshotRegistry* snapshots_ = nullptr;
+  serve::StoreKind snapshot_kind_ = serve::StoreKind::kFp32;
+  std::vector<float> publish_scratch_;  // Q copy staging for publish_snapshot
 };
 
 }  // namespace hcc::core

@@ -19,6 +19,8 @@
 
 // The framework
 #include "core/hccmf.hpp"          // HccMf facade
+#include "serve/engine.hpp"        // online top-K off RCU snapshots
+#include "serve/foldin.hpp"        // cold-start ridge fold-in
 #include "core/report_format.hpp"  // report rendering (incl. drift table)
 #include "core/tuner.hpp"          // comm auto-tuner
 #include "sim/platform.hpp"        // virtual platforms

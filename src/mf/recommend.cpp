@@ -1,7 +1,12 @@
 #include "mf/recommend.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
+
+#include "simd/dispatch.hpp"
+#include "simd/prefetch.hpp"
 
 namespace hcc::mf {
 
@@ -18,6 +23,13 @@ bool SeenIndex::seen(std::uint32_t user, std::uint32_t item) const {
 
 std::vector<ScoredItem> top_n(const FactorModel& model, const SeenIndex& seen,
                               std::uint32_t user, std::size_t n) {
+  constexpr std::uint32_t kBlock = 256;  // 256 k-float rows per score pass
+  const auto& kt = simd::kernels();
+  const std::uint32_t k = model.k();
+  const float* user_row = model.p(user);
+  const auto seen_items = seen.items(user);
+  std::array<float, kBlock> scores;
+  std::array<std::uint8_t, kBlock / 8> mask;
   // Min-heap of the current best n, so memory stays O(n) even for huge
   // catalogues.
   auto worse = [](const ScoredItem& a, const ScoredItem& b) {
@@ -25,16 +37,39 @@ std::vector<ScoredItem> top_n(const FactorModel& model, const SeenIndex& seen,
   };
   std::vector<ScoredItem> heap;
   heap.reserve(n + 1);
-  for (std::uint32_t item = 0; item < model.items(); ++item) {
-    if (seen.seen(user, item)) continue;
-    const float score = model.predict(user, item);
-    if (heap.size() < n) {
-      heap.push_back({item, score});
-      std::push_heap(heap.begin(), heap.end(), worse);
-    } else if (!heap.empty() && score > heap.front().score) {
-      std::pop_heap(heap.begin(), heap.end(), worse);
-      heap.back() = {item, score};
-      std::push_heap(heap.begin(), heap.end(), worse);
+  std::size_t cursor = 0;  // walks the sorted seen list in step with blocks
+  for (std::uint32_t lo = 0; lo < model.items(); lo += kBlock) {
+    const std::uint32_t count =
+        std::min<std::uint32_t>(kBlock, model.items() - lo);
+    mask.fill(0);
+    while (cursor < seen_items.size() && seen_items[cursor] < lo + count) {
+      const std::uint32_t off = seen_items[cursor] - lo;
+      mask[off / 8] |= static_cast<std::uint8_t>(1u << (off % 8));
+      ++cursor;
+    }
+    if (lo + kBlock < model.items()) simd::prefetch_row(model.q(lo + kBlock), k);
+    kt.score_block(user_row, model.q(lo), k, count, mask.data(), scores.data());
+    float block_max = -std::numeric_limits<float>::infinity();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      block_max = std::max(block_max, scores[i]);
+    }
+    // Seen items score -inf, so once the heap is full a block whose best
+    // score cannot beat the weakest kept item is skipped wholesale.
+    if (heap.size() == n && (n == 0 || block_max <= heap.front().score)) {
+      continue;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (((mask[i / 8] >> (i % 8)) & 1u) != 0) continue;
+      const float score = scores[i];
+      const std::uint32_t item = lo + i;
+      if (heap.size() < n) {
+        heap.push_back({item, score});
+        std::push_heap(heap.begin(), heap.end(), worse);
+      } else if (!heap.empty() && score > heap.front().score) {
+        std::pop_heap(heap.begin(), heap.end(), worse);
+        heap.back() = {item, score};
+        std::push_heap(heap.begin(), heap.end(), worse);
+      }
     }
   }
   // sort_heap orders ascending by the comparator, i.e. descending score:

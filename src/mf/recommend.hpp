@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/rating_matrix.hpp"
@@ -30,6 +31,13 @@ class SeenIndex {
   /// True if `user` rated `item` in the training data.
   bool seen(std::uint32_t user, std::uint32_t item) const;
 
+  /// The sorted item ids `user` rated; empty for out-of-range users (the
+  /// serving path queries fold-in users beyond the training rows).
+  std::span<const std::uint32_t> items(std::uint32_t user) const {
+    if (user >= items_.size()) return {};
+    return items_[user];
+  }
+
   /// Number of training ratings of `user`.
   std::size_t count(std::uint32_t user) const {
     return items_[user].size();
@@ -40,7 +48,10 @@ class SeenIndex {
 };
 
 /// The `n` unseen items with the highest predicted rating for `user`,
-/// best first.  O(items * k + items log n).
+/// best first.  O(items * k + items log n).  Scans Q in blocks through the
+/// dispatched `simd::score_block` kernel with the seen set fused in as a
+/// skip bitmask; only block maxima that beat the current n-th best touch
+/// the heap.
 std::vector<ScoredItem> top_n(const FactorModel& model, const SeenIndex& seen,
                               std::uint32_t user, std::size_t n);
 

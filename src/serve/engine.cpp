@@ -1,0 +1,156 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "serve/metrics.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/prefetch.hpp"
+#include "util/clock.hpp"
+
+namespace hcc::serve {
+
+TopKEngine::TopKEngine(EngineOptions opts) : opts_(opts) {
+  if (opts_.block_items == 0) opts_.block_items = 256;
+  opts_.block_items = (opts_.block_items + 7u) & ~7u;
+}
+
+std::vector<mf::ScoredItem> TopKEngine::top_k(const ModelSnapshot& snapshot,
+                                              std::uint32_t user,
+                                              std::size_t n,
+                                              const mf::SeenIndex* seen) {
+  const util::Stopwatch watch;
+  std::vector<mf::ScoredItem> result;
+  const FactorStore& store = snapshot.store;
+  if (user < store.users() && store.k() > 0) {
+    const float* user_row = store.p_row_fp32(user);
+    if (user_row == nullptr) {
+      user_scratch_.resize(store.k());
+      store.decode_p_row(user, user_scratch_.data());
+      user_row = user_scratch_.data();
+    }
+    result = scan(store, user_row, n,
+                  seen != nullptr ? seen->items(user)
+                                  : std::span<const std::uint32_t>{});
+  }
+  if (opts_.record_metrics) record_query(watch.seconds() * 1e3);
+  return result;
+}
+
+std::vector<mf::ScoredItem> TopKEngine::top_k_row(
+    const ModelSnapshot& snapshot, const float* user_row, std::size_t n,
+    std::span<const std::uint32_t> exclude) {
+  const util::Stopwatch watch;
+  std::vector<mf::ScoredItem> result;
+  if (snapshot.store.k() > 0) {
+    result = scan(snapshot.store, user_row, n, exclude);
+  }
+  if (opts_.record_metrics) record_query(watch.seconds() * 1e3);
+  return result;
+}
+
+std::vector<mf::ScoredItem> TopKEngine::scan(
+    const FactorStore& store, const float* user_row, std::size_t n,
+    std::span<const std::uint32_t> exclude) {
+  const auto& kt = simd::kernels();
+  const std::uint32_t k = store.k();
+  const std::uint32_t items = store.items();
+  const std::uint32_t block = opts_.block_items;
+  scores_.resize(block);
+  mask_.resize(block / 8);
+  const bool fp32_direct = store.q_rows_fp32(0) != nullptr;
+  if (!fp32_direct) {
+    q_scratch_.resize(static_cast<std::size_t>(block) * k);
+  }
+
+  auto worse = [](const mf::ScoredItem& a, const mf::ScoredItem& b) {
+    return a.score > b.score;  // heap root = weakest of the kept items
+  };
+  std::vector<mf::ScoredItem> heap;
+  heap.reserve(n + 1);
+  std::size_t cursor = 0;  // walks the sorted exclude list in block order
+  for (std::uint32_t lo = 0; lo < items; lo += block) {
+    const std::uint32_t count = std::min<std::uint32_t>(block, items - lo);
+    std::fill(mask_.begin(), mask_.end(), std::uint8_t{0});
+    while (cursor < exclude.size() && exclude[cursor] < lo + count) {
+      if (exclude[cursor] >= lo) {
+        const std::uint32_t off = exclude[cursor] - lo;
+        mask_[off / 8] |= static_cast<std::uint8_t>(1u << (off % 8));
+      }
+      ++cursor;
+    }
+    // Hint the next block's *encoded* bytes while this one scores; the
+    // hardware stream prefetcher follows once demand loads confirm it.
+    if (lo + block < items) {
+      const auto* next = static_cast<const std::byte*>(store.q_raw(lo + block));
+      const std::size_t bytes = std::min<std::size_t>(
+          store.q_row_bytes() * 4, store.q_row_bytes() * (items - lo - block));
+      for (std::size_t off = 0; off < bytes; off += 64) {
+        simd::prefetch_line(next + off);
+      }
+    }
+    const float* q_block;
+    if (fp32_direct) {
+      q_block = store.q_rows_fp32(lo);
+    } else {
+      store.decode_q_rows(lo, count, q_scratch_.data());
+      q_block = q_scratch_.data();
+    }
+    kt.score_block(user_row, q_block, k, count, mask_.data(), scores_.data());
+    float block_max = -std::numeric_limits<float>::infinity();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      block_max = std::max(block_max, scores_[i]);
+    }
+    // Excluded items score -inf, so a full heap whose weakest kept item
+    // beats the block maximum skips the whole block.
+    if (heap.size() == n && (n == 0 || block_max <= heap.front().score)) {
+      continue;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (((mask_[i / 8] >> (i % 8)) & 1u) != 0) continue;
+      const float score = scores_[i];
+      const std::uint32_t item = lo + i;
+      if (heap.size() < n) {
+        heap.push_back({item, score});
+        std::push_heap(heap.begin(), heap.end(), worse);
+      } else if (!heap.empty() && score > heap.front().score) {
+        std::pop_heap(heap.begin(), heap.end(), worse);
+        heap.back() = {item, score};
+        std::push_heap(heap.begin(), heap.end(), worse);
+      }
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), worse);
+  return heap;
+}
+
+double snapshot_hit_rate_at_n(const ModelSnapshot& snapshot,
+                              const data::RatingMatrix& train,
+                              const data::RatingMatrix& test, std::size_t n,
+                              float relevant_min) {
+  const mf::SeenIndex seen(train);
+  TopKEngine engine({.block_items = 256, .record_metrics = false});
+  std::size_t trials = 0;
+  std::size_t hits = 0;
+  std::vector<std::vector<const data::Rating*>> by_user(train.rows());
+  for (const auto& e : test.entries()) {
+    if (e.r >= relevant_min && e.u < by_user.size()) by_user[e.u].push_back(&e);
+  }
+  for (std::uint32_t u = 0; u < by_user.size(); ++u) {
+    if (by_user[u].empty()) continue;
+    const auto recs = engine.top_k(snapshot, u, n, &seen);
+    for (const auto* e : by_user[u]) {
+      ++trials;
+      for (const auto& r : recs) {
+        if (r.item == e->i) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  return trials == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace hcc::serve

@@ -1,0 +1,75 @@
+// The top-K scoring engine: one user row against the whole catalog.
+//
+// The scan walks Q in blocks of `block_items` rows through the dispatched
+// `simd::score_block` kernel (8 items per pass, one accumulator each, the
+// user row loaded once per feature chunk — the CuMF_SGD batched-dot idiom,
+// arXiv:1610.05838), with the seen-item filter fused in as a skip bitmask
+// and the next block's encoded bytes prefetched while the current one
+// scores.  Quantized stores decode one block into scratch ahead of the
+// kernel, so the resident working set stays the compact encoding.  Only
+// blocks whose maximum beats the current n-th best touch the bounded heap.
+//
+// An engine owns mutable scratch and is NOT thread-safe: give each reader
+// thread its own (they share the snapshot, which is immutable).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mf/recommend.hpp"
+#include "serve/snapshot.hpp"
+#include "util/aligned.hpp"
+
+namespace hcc::serve {
+
+struct EngineOptions {
+  /// Q rows scored per kernel call; rounded up to a multiple of 8.  256
+  /// rows of k=128 fp32 are 128 KiB — comfortably inside L2 even with the
+  /// decode scratch alongside.
+  std::uint32_t block_items = 256;
+  /// When false, the engine skips the serve.* metric updates (benchmarks
+  /// measuring the bare scan).
+  bool record_metrics = true;
+};
+
+class TopKEngine {
+ public:
+  explicit TopKEngine(EngineOptions opts = {});
+
+  /// Top `n` unseen items for user `u` of the snapshot, best first.
+  /// `seen` may be null (no exclusions); out-of-range users of a null/
+  /// empty snapshot get an empty result.
+  std::vector<mf::ScoredItem> top_k(const ModelSnapshot& snapshot,
+                                    std::uint32_t user, std::size_t n,
+                                    const mf::SeenIndex* seen = nullptr);
+
+  /// Same scan for an explicit k-float user row (fold-in users that have
+  /// no P row), excluding the sorted item ids in `exclude`.
+  std::vector<mf::ScoredItem> top_k_row(
+      const ModelSnapshot& snapshot, const float* user_row, std::size_t n,
+      std::span<const std::uint32_t> exclude = {});
+
+ private:
+  std::vector<mf::ScoredItem> scan(const FactorStore& store,
+                                   const float* user_row, std::size_t n,
+                                   std::span<const std::uint32_t> exclude);
+
+  EngineOptions opts_;
+  util::AlignedFloats user_scratch_;
+  util::AlignedFloats q_scratch_;
+  std::vector<float> scores_;
+  std::vector<std::uint8_t> mask_;
+};
+
+/// Engine-based leave-one-out hit rate (mirrors mf::hit_rate_at_n but
+/// scored off a snapshot): fraction of test ratings >= `relevant_min`
+/// whose item lands in the user's snapshot top-`n`.  Used by the quality
+/// parity tests and bench_serving to compare store encodings.
+double snapshot_hit_rate_at_n(const ModelSnapshot& snapshot,
+                              const data::RatingMatrix& train,
+                              const data::RatingMatrix& test, std::size_t n,
+                              float relevant_min);
+
+}  // namespace hcc::serve

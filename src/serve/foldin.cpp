@@ -1,0 +1,81 @@
+#include "serve/foldin.hpp"
+
+#include <cmath>
+
+namespace hcc::serve {
+
+std::vector<float> fold_in(const FactorStore& store,
+                           std::span<const FoldInRating> ratings, float reg) {
+  const std::uint32_t k = store.k();
+  std::vector<float> row(k, 0.0f);
+  if (k == 0) return row;
+
+  // Normal equations in double: A = Q_S^T Q_S + reg I (k x k, row-major
+  // but symmetric), b = Q_S^T r.
+  std::vector<double> a(static_cast<std::size_t>(k) * k, 0.0);
+  std::vector<double> b(k, 0.0);
+  std::vector<float> q_row(k);
+  std::size_t used = 0;
+  for (const auto& obs : ratings) {
+    if (obs.item >= store.items()) continue;
+    store.decode_q_rows(obs.item, 1, q_row.data());
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const double qi = q_row[i];
+      b[i] += qi * obs.rating;
+      for (std::uint32_t j = i; j < k; ++j) {
+        a[static_cast<std::size_t>(i) * k + j] += qi * q_row[j];
+      }
+    }
+    ++used;
+  }
+  if (used == 0) return row;
+
+  const double ridge = reg > 0.0f ? reg : 1e-6;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    a[static_cast<std::size_t>(i) * k + i] += ridge;
+  }
+
+  // Cholesky A = L L^T on the upper triangle accumulated above (A is
+  // symmetric; L is written into the lower triangle).
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::uint32_t j = 0; j <= i; ++j) {
+      // j <= i, so the stored upper-triangle entry is a[j][i].
+      double sum = a[static_cast<std::size_t>(j) * k + i];
+      for (std::uint32_t t = 0; t < j; ++t) {
+        sum -= a[static_cast<std::size_t>(i) * k + t] *
+               a[static_cast<std::size_t>(j) * k + t];
+      }
+      if (i == j) {
+        // reg > 0 keeps A definite; guard anyway so a degenerate store
+        // cannot produce NaNs.
+        a[static_cast<std::size_t>(i) * k + j] =
+            std::sqrt(sum > 1e-12 ? sum : 1e-12);
+      } else {
+        a[static_cast<std::size_t>(i) * k + j] =
+            sum / a[static_cast<std::size_t>(j) * k + j];
+      }
+    }
+  }
+
+  // Forward substitution L y = b, then back substitution L^T p = y.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    double sum = b[i];
+    for (std::uint32_t t = 0; t < i; ++t) {
+      sum -= a[static_cast<std::size_t>(i) * k + t] * b[t];
+    }
+    b[i] = sum / a[static_cast<std::size_t>(i) * k + i];
+  }
+  for (std::uint32_t ii = k; ii > 0; --ii) {
+    const std::uint32_t i = ii - 1;
+    double sum = b[i];
+    for (std::uint32_t t = i + 1; t < k; ++t) {
+      sum -= a[static_cast<std::size_t>(t) * k + i] * b[t];
+    }
+    b[i] = sum / a[static_cast<std::size_t>(i) * k + i];
+  }
+
+  for (std::uint32_t i = 0; i < k; ++i) row[i] = static_cast<float>(b[i]);
+  return row;
+}
+
+}  // namespace hcc::serve

@@ -1,0 +1,37 @@
+// Cold-start fold-in: a user row for someone training never saw.
+//
+// Given a handful of ratings r_s on items S from a new user, the best
+// factor row under the frozen snapshot Q is the ridge least-squares
+// solution
+//
+//   p* = argmin_p  sum_{s in S} (r_s - <p, q_s>)^2 + reg * ||p||^2
+//      = (Q_S^T Q_S + reg I)^{-1} Q_S^T r
+//
+// — one k x k symmetric positive-definite solve, no training interaction,
+// answered straight off the serving snapshot.  The normal equations are
+// accumulated and factorized in double (k is small; the conditioning risk
+// is the few-ratings case, exactly where fold-in runs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/store.hpp"
+
+namespace hcc::serve {
+
+/// One observed rating of the fold-in user.
+struct FoldInRating {
+  std::uint32_t item = 0;
+  float rating = 0.0f;
+};
+
+/// The ridge solution above as k floats.  Ratings on items outside the
+/// store's catalog are ignored; with no usable ratings the zero row comes
+/// back (score 0 everywhere — the honest cold answer).  `reg` values <=
+/// 0 are clamped to a tiny positive ridge so the solve stays definite.
+std::vector<float> fold_in(const FactorStore& store,
+                           std::span<const FoldInRating> ratings, float reg);
+
+}  // namespace hcc::serve

@@ -1,0 +1,66 @@
+#include "serve/metrics.hpp"
+
+namespace hcc::serve {
+
+const std::vector<double>& serve_latency_buckets() {
+  static const std::vector<double> bounds{
+      0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2,
+      0.5,    1.0,   2.0,   5.0,   10.0, 20.0, 50.0, 100.0, 200.0};
+  return bounds;
+}
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m = [] {
+    auto& reg = obs::registry();
+    return ServeMetrics{
+        &reg.counter("serve.queries"),
+        &reg.histogram("serve.latency_ms", serve_latency_buckets()),
+        &reg.gauge("serve.qps"),
+        &reg.gauge("serve.p50_ms"),
+        &reg.gauge("serve.p99_ms"),
+        &reg.gauge("serve.snapshot_age_epochs"),
+        &reg.gauge("serve.store_bytes"),
+    };
+  }();
+  return m;
+}
+
+void record_query(double latency_ms) {
+  auto& m = serve_metrics();
+  m.queries->add();
+  m.latency_ms->observe(latency_ms);
+}
+
+double histogram_quantile(const obs::Histogram& h, double q) {
+  const std::uint64_t total = h.count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto counts = h.bucket_counts();
+  const auto& bounds = h.bounds();
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (cumulative + in_bucket < target || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (b >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double hi = bounds[b];
+    return lo + (hi - lo) * ((target - cumulative) / in_bucket);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+void update_latency_gauges(double elapsed_s) {
+  auto& m = serve_metrics();
+  m.p50_ms->set(histogram_quantile(*m.latency_ms, 0.50));
+  m.p99_ms->set(histogram_quantile(*m.latency_ms, 0.99));
+  if (elapsed_s > 0.0) {
+    m.qps->set(static_cast<double>(m.queries->value()) / elapsed_s);
+  }
+}
+
+}  // namespace hcc::serve

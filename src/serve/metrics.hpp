@@ -1,0 +1,47 @@
+// The serve.* metric family (documented in docs/observability.md):
+//
+//   serve.queries             counter  top-K queries answered
+//   serve.latency_ms          histogram per-query wall milliseconds
+//   serve.qps                 gauge    queries/s over the caller's window
+//   serve.p50_ms / p99_ms     gauge    interpolated from the histogram
+//   serve.snapshot_age_epochs gauge    training epochs since last publish
+//   serve.store_bytes         gauge    payload bytes of the live snapshot
+//
+// Handles are resolved once into a static struct (the registry's lookup is
+// mutex-guarded); the per-query path is two relaxed atomic adds.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace hcc::serve {
+
+struct ServeMetrics {
+  obs::Counter* queries;
+  obs::Histogram* latency_ms;
+  obs::Gauge* qps;
+  obs::Gauge* p50_ms;
+  obs::Gauge* p99_ms;
+  obs::Gauge* snapshot_age_epochs;
+  obs::Gauge* store_bytes;
+};
+
+/// The cached serve.* handles (created on first use).
+ServeMetrics& serve_metrics();
+
+/// Millisecond bucket bounds for serve.latency_ms: 0.5 us to 200 ms.
+const std::vector<double>& serve_latency_buckets();
+
+/// One answered query: bumps serve.queries, observes serve.latency_ms.
+void record_query(double latency_ms);
+
+/// Quantile (q in [0, 1]) linearly interpolated inside the histogram
+/// bucket that crosses it; the overflow bucket clamps to the last bound.
+/// 0 when the histogram is empty.
+double histogram_quantile(const obs::Histogram& h, double q);
+
+/// Refreshes serve.p50_ms / serve.p99_ms from serve.latency_ms, and
+/// serve.qps when `elapsed_s` > 0 (queries / elapsed_s over the caller's
+/// measurement window).
+void update_latency_gauges(double elapsed_s = 0.0);
+
+}  // namespace hcc::serve

@@ -1,0 +1,23 @@
+#include "serve/snapshot.hpp"
+
+#include "serve/metrics.hpp"
+
+namespace hcc::serve {
+
+void SnapshotRegistry::publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+  const std::size_t bytes =
+      snapshot != nullptr ? snapshot->store.store_bytes() : 0;
+  {
+    std::unique_lock lock(mutex_);
+    current_ = std::move(snapshot);
+  }
+  published_.fetch_add(1, std::memory_order_relaxed);
+  serve_metrics().store_bytes->set(static_cast<double>(bytes));
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotRegistry::current() const {
+  std::shared_lock lock(mutex_);
+  return current_;
+}
+
+}  // namespace hcc::serve

@@ -1,0 +1,180 @@
+#include "serve/store.hpp"
+
+#include <algorithm>
+
+#include "simd/dispatch.hpp"
+
+namespace hcc::serve {
+
+const char* store_kind_name(StoreKind kind) noexcept {
+  switch (kind) {
+    case StoreKind::kFp32:
+      return "fp32";
+    case StoreKind::kFp16:
+      return "fp16";
+    case StoreKind::kInt8:
+      return "int8";
+  }
+  return "fp32";
+}
+
+bool parse_store_kind(const std::string& text, StoreKind* out) noexcept {
+  if (text == "fp32") {
+    *out = StoreKind::kFp32;
+  } else if (text == "fp16") {
+    *out = StoreKind::kFp16;
+  } else if (text == "int8") {
+    *out = StoreKind::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FactorStore::FactorStore(StoreKind kind, std::uint32_t users,
+                         std::uint32_t items, std::uint32_t k,
+                         std::span<const float> p, std::span<const float> q)
+    : kind_(kind), users_(users), items_(items), k_(k) {
+  const auto& kt = simd::kernels();
+  switch (kind_) {
+    case StoreKind::kFp32:
+      p32_.assign(p.begin(), p.end());
+      q32_.assign(q.begin(), q.end());
+      break;
+    case StoreKind::kFp16:
+      p16_.resize(p.size());
+      q16_.resize(q.size());
+      kt.fp16_encode(p.data(), p16_.data(), p.size());
+      kt.fp16_encode(q.data(), q16_.data(), q.size());
+      break;
+    case StoreKind::kInt8:
+      encode_int8(p, &p8_, &p_scales_);
+      encode_int8(q, &q8_, &q_scales_);
+      break;
+  }
+}
+
+void FactorStore::encode_int8(std::span<const float> src,
+                              std::vector<std::int8_t>* data,
+                              std::vector<float>* scales) const {
+  const auto& kt = simd::kernels();
+  const std::size_t rows = k_ > 0 ? src.size() / k_ : 0;
+  const std::uint32_t blocks = scale_blocks();
+  data->resize(src.size());
+  scales->resize(rows * blocks);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = src.data() + r * k_;
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      const std::uint32_t off = b * kScaleBlock;
+      const std::uint32_t elems = std::min(kScaleBlock, k_ - off);
+      const float a = kt.absmax(row + off, elems);
+      const float scale = a / 127.0f;
+      const float inv_scale = a > 0.0f ? 127.0f / a : 0.0f;
+      (*scales)[r * blocks + b] = scale;
+      kt.int8_encode(row + off, inv_scale, data->data() + r * k_ + off, elems);
+    }
+  }
+}
+
+void FactorStore::decode_int8_rows(const std::vector<std::int8_t>& data,
+                                   const std::vector<float>& scales,
+                                   std::uint32_t lo, std::uint32_t n,
+                                   float* dst) const noexcept {
+  const std::uint32_t blocks = scale_blocks();
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const std::int8_t* row = data.data() + static_cast<std::size_t>(lo + r) * k_;
+    const float* row_scales =
+        scales.data() + static_cast<std::size_t>(lo + r) * blocks;
+    float* out = dst + static_cast<std::size_t>(r) * k_;
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      const std::uint32_t off = b * kScaleBlock;
+      const std::uint32_t elems = std::min(kScaleBlock, k_ - off);
+      const float scale = row_scales[b];
+      for (std::uint32_t f = 0; f < elems; ++f) {
+        out[off + f] = static_cast<float>(row[off + f]) * scale;
+      }
+    }
+  }
+}
+
+void FactorStore::decode_p_row(std::uint32_t u, float* dst) const noexcept {
+  const std::size_t off = static_cast<std::size_t>(u) * k_;
+  switch (kind_) {
+    case StoreKind::kFp32:
+      for (std::uint32_t f = 0; f < k_; ++f) dst[f] = p32_[off + f];
+      break;
+    case StoreKind::kFp16:
+      simd::kernels().fp16_decode(p16_.data() + off, dst, k_);
+      break;
+    case StoreKind::kInt8:
+      decode_int8_rows(p8_, p_scales_, u, 1, dst);
+      break;
+  }
+}
+
+void FactorStore::decode_q_rows(std::uint32_t lo, std::uint32_t n,
+                                float* dst) const noexcept {
+  const std::size_t off = static_cast<std::size_t>(lo) * k_;
+  const std::size_t count = static_cast<std::size_t>(n) * k_;
+  switch (kind_) {
+    case StoreKind::kFp32:
+      for (std::size_t f = 0; f < count; ++f) dst[f] = q32_[off + f];
+      break;
+    case StoreKind::kFp16:
+      simd::kernels().fp16_decode(q16_.data() + off, dst, count);
+      break;
+    case StoreKind::kInt8:
+      decode_int8_rows(q8_, q_scales_, lo, n, dst);
+      break;
+  }
+}
+
+const float* FactorStore::q_rows_fp32(std::uint32_t lo) const noexcept {
+  if (kind_ != StoreKind::kFp32) return nullptr;
+  return q32_.data() + static_cast<std::size_t>(lo) * k_;
+}
+
+const float* FactorStore::p_row_fp32(std::uint32_t u) const noexcept {
+  if (kind_ != StoreKind::kFp32) return nullptr;
+  return p32_.data() + static_cast<std::size_t>(u) * k_;
+}
+
+const void* FactorStore::q_raw(std::uint32_t lo) const noexcept {
+  const std::size_t off = static_cast<std::size_t>(lo) * k_;
+  switch (kind_) {
+    case StoreKind::kFp32:
+      return q32_.data() + off;
+    case StoreKind::kFp16:
+      return q16_.data() + off;
+    case StoreKind::kInt8:
+      return q8_.data() + off;
+  }
+  return nullptr;
+}
+
+std::size_t FactorStore::q_row_bytes() const noexcept {
+  switch (kind_) {
+    case StoreKind::kFp32:
+      return static_cast<std::size_t>(k_) * sizeof(float);
+    case StoreKind::kFp16:
+      return static_cast<std::size_t>(k_) * sizeof(util::Half);
+    case StoreKind::kInt8:
+      return static_cast<std::size_t>(k_) * sizeof(std::int8_t);
+  }
+  return 0;
+}
+
+std::size_t FactorStore::store_bytes() const noexcept {
+  switch (kind_) {
+    case StoreKind::kFp32:
+      return (p32_.size() + q32_.size()) * sizeof(float);
+    case StoreKind::kFp16:
+      return (p16_.size() + q16_.size()) * sizeof(util::Half);
+    case StoreKind::kInt8:
+      return p8_.size() + q8_.size() +
+             (p_scales_.size() + q_scales_.size()) * sizeof(float);
+  }
+  return 0;
+}
+
+}  // namespace hcc::serve

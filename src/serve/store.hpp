@@ -1,0 +1,103 @@
+// Read-only factor store for the serving path: fp32, fp16, or int8.
+//
+// A snapshot of P/Q is encoded once at publish time and then only read, so
+// the store trades decode work for footprint: fp16 halves the bytes the
+// top-K scan streams (the scan is memory-bound at MovieLens catalog sizes),
+// and int8 quarters them with per-k-block absmax scales — the same
+// quantization grid as the PR-8 wire codecs (comm/codec.hpp), reusing their
+// dispatched absmax/int8/fp16 kernels.  "Efficient Matrix Factorization on
+// Heterogeneous CPU-GPU Systems" (arXiv:2006.15980) keeps read-mostly
+// factors in exactly this kind of compact layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/fp16.hpp"
+
+namespace hcc::serve {
+
+/// Encoding of a published factor snapshot, ordered by footprint.
+enum class StoreKind : int {
+  kFp32 = 0,  ///< plain copy, byte-identical scores
+  kFp16 = 1,  ///< ~2x smaller, <= 1/2048 relative error per factor
+  kInt8 = 2,  ///< ~4x smaller, per-64-feature absmax scales
+};
+
+/// Lower-case stable name ("fp32", "fp16", "int8").
+const char* store_kind_name(StoreKind kind) noexcept;
+
+/// Parses the --store spelling; false (and *out untouched) when `text` is
+/// not one of the names above.
+bool parse_store_kind(const std::string& text, StoreKind* out) noexcept;
+
+/// int8 scale granularity: one absmax scale per 64 consecutive features of
+/// a row (the last block of a row may be shorter).  64 floats = 4 cache
+/// lines; fine enough that one hot feature doesn't flatten the rest of the
+/// row, coarse enough that scales stay <2% of the payload.
+inline constexpr std::uint32_t kScaleBlock = 64;
+
+/// Immutable encoded P/Q pair.  Construction quantizes; afterwards every
+/// method is const and safe to call from any number of threads.
+class FactorStore {
+ public:
+  FactorStore() = default;
+
+  /// Encodes `p` (users x k) and `q` (items x k), both row-major.
+  FactorStore(StoreKind kind, std::uint32_t users, std::uint32_t items,
+              std::uint32_t k, std::span<const float> p,
+              std::span<const float> q);
+
+  StoreKind kind() const noexcept { return kind_; }
+  std::uint32_t users() const noexcept { return users_; }
+  std::uint32_t items() const noexcept { return items_; }
+  std::uint32_t k() const noexcept { return k_; }
+
+  /// Decodes user row `u` into `dst[0, k)`.
+  void decode_p_row(std::uint32_t u, float* dst) const noexcept;
+
+  /// Decodes item rows [lo, lo+n) into `dst[0, n*k)` (row-major).
+  void decode_q_rows(std::uint32_t lo, std::uint32_t n,
+                     float* dst) const noexcept;
+
+  /// fp32 fast path: direct pointer to the contiguous rows starting at
+  /// `lo`/`u`, or nullptr for the quantized kinds (callers then decode
+  /// into scratch).
+  const float* q_rows_fp32(std::uint32_t lo) const noexcept;
+  const float* p_row_fp32(std::uint32_t u) const noexcept;
+
+  /// Address of the encoded bytes of Q row `lo` and the encoded bytes per
+  /// row — the prefetch targets for the scan's next block.
+  const void* q_raw(std::uint32_t lo) const noexcept;
+  std::size_t q_row_bytes() const noexcept;
+
+  /// Total payload bytes held (factor data + quantization scales) — what
+  /// the serve.store_bytes gauge reports.
+  std::size_t store_bytes() const noexcept;
+
+ private:
+  std::uint32_t scale_blocks() const noexcept {
+    return (k_ + kScaleBlock - 1) / kScaleBlock;
+  }
+  void encode_int8(std::span<const float> src, std::vector<std::int8_t>* data,
+                   std::vector<float>* scales) const;
+  void decode_int8_rows(const std::vector<std::int8_t>& data,
+                        const std::vector<float>& scales, std::uint32_t lo,
+                        std::uint32_t n, float* dst) const noexcept;
+
+  StoreKind kind_ = StoreKind::kFp32;
+  std::uint32_t users_ = 0;
+  std::uint32_t items_ = 0;
+  std::uint32_t k_ = 0;
+  // Exactly one pair below is populated, per kind_.
+  util::AlignedFloats p32_, q32_;
+  std::vector<util::Half> p16_, q16_;
+  std::vector<std::int8_t> p8_, q8_;
+  std::vector<float> p_scales_, q_scales_;  // row-major, scale_blocks() per row
+};
+
+}  // namespace hcc::serve

@@ -48,6 +48,18 @@ struct KernelTable {
   float (*dot)(const float* a, const float* b, std::uint32_t k) noexcept =
       nullptr;
 
+  /// Batched serving scorer: scores[i] = dot(user, q + i*k) for n_items
+  /// contiguous k-float rows of Q (the serve/ top-K hot loop).  `skip_bits`
+  /// is an optional bitset (bit i%8 of skip_bits[i/8]; nullptr = none):
+  /// masked items are written as -inf without being scored, which fuses the
+  /// seen-item filter into the scan.  Per-item sums follow the same
+  /// reassociation latitude as `dot` (tests bound the divergence in ULPs);
+  /// the vector backends score 8 items per pass with one accumulator each
+  /// so the user row is loaded once per feature chunk.
+  void (*score_block)(const float* user, const float* q, std::uint32_t k,
+                      std::uint32_t n_items, const std::uint8_t* skip_bits,
+                      float* scores) noexcept = nullptr;
+
   /// One SGD step (the Figure 1 recurrence; see mf::sgd_update).  Returns
   /// the pre-update error r - <p, q>.
   float (*sgd_update)(float* p, float* q, std::uint32_t k, float r, float lr,

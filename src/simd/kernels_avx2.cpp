@@ -57,6 +57,46 @@ float dot_avx2(const float* a, const float* b, std::uint32_t k) noexcept {
   return dot;
 }
 
+void score_block_avx2(const float* user, const float* q, std::uint32_t k,
+                      std::uint32_t n_items, const std::uint8_t* skip_bits,
+                      float* scores) noexcept {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  std::uint32_t i = 0;
+  for (; i + 8 <= n_items; i += 8) {
+    // i is a multiple of 8, so the pass's mask is exactly one bitset byte.
+    const unsigned mask = skip_bits != nullptr ? skip_bits[i / 8] : 0u;
+    if (mask == 0xffu) {
+      for (unsigned j = 0; j < 8; ++j) scores[i + j] = kNegInf;
+      continue;
+    }
+    const float* rows = q + static_cast<std::size_t>(i) * k;
+    // One accumulator per item; the user chunk is loaded once and reused
+    // across all 8 rows, so Q streams through at one fmadd per element.
+    __m256 acc[8];
+    for (unsigned j = 0; j < 8; ++j) acc[j] = _mm256_setzero_ps();
+    std::uint32_t f = 0;
+    for (; f + 8 <= k; f += 8) {
+      const __m256 vu = _mm256_loadu_ps(user + f);
+      for (unsigned j = 0; j < 8; ++j) {
+        acc[j] = _mm256_fmadd_ps(
+            vu, _mm256_loadu_ps(rows + static_cast<std::size_t>(j) * k + f),
+            acc[j]);
+      }
+    }
+    for (unsigned j = 0; j < 8; ++j) {
+      float s = hsum256(acc[j]);
+      const float* row = rows + static_cast<std::size_t>(j) * k;
+      for (std::uint32_t t = f; t < k; ++t) s += user[t] * row[t];
+      scores[i + j] = ((mask >> j) & 1u) != 0 ? kNegInf : s;
+    }
+  }
+  if (i < n_items) {
+    detail::scalar_score_block(
+        user, q + static_cast<std::size_t>(i) * k, k, n_items - i,
+        skip_bits != nullptr ? skip_bits + i / 8 : nullptr, scores + i);
+  }
+}
+
 void sgd_apply_avx2(float* p, float* q, std::uint32_t k, float err, float lr,
                     float reg_p, float reg_q) noexcept {
   const __m256 verr = _mm256_set1_ps(err);
@@ -283,6 +323,7 @@ const KernelTable& avx2_kernels() noexcept {
       Isa::kAvx2,
       "avx2",
       dot_avx2,
+      score_block_avx2,
       sgd_update_avx2,
       sgd_apply_avx2,
       sum_squares_avx2,

@@ -35,6 +35,45 @@ float dot_neon(const float* a, const float* b, std::uint32_t k) noexcept {
   return dot;
 }
 
+void score_block_neon(const float* user, const float* q, std::uint32_t k,
+                      std::uint32_t n_items, const std::uint8_t* skip_bits,
+                      float* scores) noexcept {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  std::uint32_t i = 0;
+  for (; i + 8 <= n_items; i += 8) {
+    // i is a multiple of 8, so the pass's mask is exactly one bitset byte.
+    const unsigned mask = skip_bits != nullptr ? skip_bits[i / 8] : 0u;
+    if (mask == 0xffu) {
+      for (unsigned j = 0; j < 8; ++j) scores[i + j] = kNegInf;
+      continue;
+    }
+    const float* rows = q + static_cast<std::size_t>(i) * k;
+    // One accumulator per item; the user chunk is loaded once and reused
+    // across all 8 rows, so Q streams through at one fma per element.
+    float32x4_t acc[8];
+    for (unsigned j = 0; j < 8; ++j) acc[j] = vdupq_n_f32(0.0f);
+    std::uint32_t f = 0;
+    for (; f + 4 <= k; f += 4) {
+      const float32x4_t vu = vld1q_f32(user + f);
+      for (unsigned j = 0; j < 8; ++j) {
+        acc[j] = vfmaq_f32(
+            acc[j], vu, vld1q_f32(rows + static_cast<std::size_t>(j) * k + f));
+      }
+    }
+    for (unsigned j = 0; j < 8; ++j) {
+      float s = vaddvq_f32(acc[j]);
+      const float* row = rows + static_cast<std::size_t>(j) * k;
+      for (std::uint32_t t = f; t < k; ++t) s += user[t] * row[t];
+      scores[i + j] = ((mask >> j) & 1u) != 0 ? kNegInf : s;
+    }
+  }
+  if (i < n_items) {
+    detail::scalar_score_block(
+        user, q + static_cast<std::size_t>(i) * k, k, n_items - i,
+        skip_bits != nullptr ? skip_bits + i / 8 : nullptr, scores + i);
+  }
+}
+
 void sgd_apply_neon(float* p, float* q, std::uint32_t k, float err, float lr,
                     float reg_p, float reg_q) noexcept {
   const float32x4_t verr = vdupq_n_f32(err);
@@ -189,6 +228,7 @@ const KernelTable& neon_kernels() noexcept {
       Isa::kNeon,
       "neon",
       dot_neon,
+      score_block_neon,
       sgd_update_neon,
       sgd_apply_neon,
       sum_squares_neon,

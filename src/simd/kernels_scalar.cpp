@@ -12,6 +12,7 @@ const KernelTable& scalar_kernels() noexcept {
       Isa::kScalar,
       "scalar",
       detail::scalar_dot,
+      detail::scalar_score_block,
       detail::scalar_sgd_update,
       detail::scalar_sgd_apply,
       detail::scalar_sum_squares,

@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 
 #include "util/fp16.hpp"
 
@@ -26,6 +27,19 @@ static inline float scalar_dot(const float* a, const float* b,
   float dot = 0.0f;
   for (std::uint32_t f = 0; f < k; ++f) dot += a[f] * b[f];
   return dot;
+}
+
+static inline void scalar_score_block(const float* user, const float* q,
+                                      std::uint32_t k, std::uint32_t n_items,
+                                      const std::uint8_t* skip_bits,
+                                      float* scores) noexcept {
+  for (std::uint32_t i = 0; i < n_items; ++i) {
+    if (skip_bits != nullptr && ((skip_bits[i / 8] >> (i % 8)) & 1u) != 0) {
+      scores[i] = -std::numeric_limits<float>::infinity();
+      continue;
+    }
+    scores[i] = scalar_dot(user, q + static_cast<std::size_t>(i) * k, k);
+  }
 }
 
 static inline void scalar_sgd_apply(float* p, float* q, std::uint32_t k,

@@ -1,0 +1,167 @@
+// Tests for cold-start fold-in (serve/foldin.hpp) against a dense
+// least-squares reference solved independently in double precision.
+#include "serve/foldin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hcc::serve {
+namespace {
+
+std::vector<float> random_rows(std::size_t rows, std::uint32_t k,
+                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(rows * k);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, 0.5));
+  return v;
+}
+
+FactorStore q_only_store(std::uint32_t items, std::uint32_t k,
+                         const std::vector<float>& q) {
+  // Fold-in only reads Q; a single zero P row keeps the store well-formed.
+  const std::vector<float> p(k, 0.0f);
+  return FactorStore(StoreKind::kFp32, 1, items, k, p, q);
+}
+
+/// Dense reference: solves (Q_S^T Q_S + reg I) x = Q_S^T r by naive
+/// Gauss-Jordan elimination with partial pivoting, all in double.
+std::vector<double> dense_ridge(const std::vector<float>& q, std::uint32_t k,
+                                std::span<const FoldInRating> ratings,
+                                double reg) {
+  std::vector<double> a(std::size_t(k) * k, 0.0);
+  std::vector<double> b(k, 0.0);
+  for (const auto& obs : ratings) {
+    const float* row = q.data() + std::size_t(obs.item) * k;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      b[i] += static_cast<double>(row[i]) * obs.rating;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        a[std::size_t(i) * k + j] +=
+            static_cast<double>(row[i]) * row[j];
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < k; ++i) a[std::size_t(i) * k + i] += reg;
+  for (std::uint32_t col = 0; col < k; ++col) {
+    std::uint32_t pivot = col;
+    for (std::uint32_t r = col + 1; r < k; ++r) {
+      if (std::abs(a[std::size_t(r) * k + col]) >
+          std::abs(a[std::size_t(pivot) * k + col])) {
+        pivot = r;
+      }
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+      std::swap(a[std::size_t(col) * k + c], a[std::size_t(pivot) * k + c]);
+    }
+    std::swap(b[col], b[pivot]);
+    const double d = a[std::size_t(col) * k + col];
+    for (std::uint32_t c = 0; c < k; ++c) a[std::size_t(col) * k + c] /= d;
+    b[col] /= d;
+    for (std::uint32_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double factor = a[std::size_t(r) * k + col];
+      if (factor == 0.0) continue;
+      for (std::uint32_t c = 0; c < k; ++c) {
+        a[std::size_t(r) * k + c] -= factor * a[std::size_t(col) * k + c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  return b;
+}
+
+TEST(ServeFoldIn, MatchesDenseLeastSquaresReference) {
+  const std::uint32_t items = 60, k = 12;
+  const auto q = random_rows(items, k, 11);
+  const auto store = q_only_store(items, k, q);
+  std::vector<FoldInRating> ratings;
+  util::Rng rng(12);
+  for (std::uint32_t i = 0; i < items; i += 3) {
+    ratings.push_back({i, static_cast<float>(rng.normal(3.5, 1.0))});
+  }
+  const float reg = 0.05f;
+  const auto row = fold_in(store, ratings, reg);
+  const auto expect = dense_ridge(q, k, ratings, reg);
+  ASSERT_EQ(row.size(), k);
+  for (std::uint32_t f = 0; f < k; ++f) {
+    EXPECT_NEAR(row[f], expect[f], 1e-4) << "feature " << f;
+  }
+}
+
+TEST(ServeFoldIn, RecoversPlantedRowFromItsOwnRatings) {
+  // Ratings generated exactly as <p*, q_i>: with many observations and a
+  // tiny ridge the solve should land on p*.
+  const std::uint32_t items = 200, k = 8;
+  const auto q = random_rows(items, k, 13);
+  const auto p_true = random_rows(1, k, 14);
+  const auto store = q_only_store(items, k, q);
+  std::vector<FoldInRating> ratings;
+  for (std::uint32_t i = 0; i < items; i += 2) {
+    double r = 0.0;
+    for (std::uint32_t f = 0; f < k; ++f) {
+      r += static_cast<double>(p_true[f]) * q[std::size_t(i) * k + f];
+    }
+    ratings.push_back({i, static_cast<float>(r)});
+  }
+  const auto row = fold_in(store, ratings, 1e-6f);
+  for (std::uint32_t f = 0; f < k; ++f) {
+    EXPECT_NEAR(row[f], p_true[f], 5e-3) << "feature " << f;
+  }
+}
+
+TEST(ServeFoldIn, NoUsableRatingsGiveZeroRow) {
+  const std::uint32_t items = 10, k = 6;
+  const auto q = random_rows(items, k, 15);
+  const auto store = q_only_store(items, k, q);
+  for (const auto& row :
+       {fold_in(store, {}, 0.1f),
+        fold_in(store, std::vector<FoldInRating>{{items + 5, 4.0f}}, 0.1f)}) {
+    ASSERT_EQ(row.size(), k);
+    for (const float v : row) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(ServeFoldIn, StrongerRidgeShrinksTheRow) {
+  const std::uint32_t items = 30, k = 8;
+  const auto q = random_rows(items, k, 16);
+  const auto store = q_only_store(items, k, q);
+  std::vector<FoldInRating> ratings{{0, 5.0f}, {7, 4.0f}, {13, 2.0f}};
+  auto norm = [&](float reg) {
+    const auto row = fold_in(store, ratings, reg);
+    double s = 0.0;
+    for (const float v : row) s += static_cast<double>(v) * v;
+    return s;
+  };
+  EXPECT_GT(norm(0.01f), norm(10.0f));
+  EXPECT_GT(norm(10.0f), 0.0);
+}
+
+TEST(ServeFoldIn, WorksOffQuantizedStores) {
+  // The solve runs off decoded rows, so quantized stores just add their
+  // decode error; the answer must stay close to the fp32 solve.
+  const std::uint32_t items = 80, k = 16;
+  const auto q = random_rows(items, k, 17);
+  const std::vector<float> p(k, 0.0f);
+  std::vector<FoldInRating> ratings;
+  util::Rng rng(18);
+  for (std::uint32_t i = 0; i < items; i += 4) {
+    ratings.push_back({i, static_cast<float>(rng.normal(3.0, 0.8))});
+  }
+  const auto fp32_row =
+      fold_in(FactorStore(StoreKind::kFp32, 1, items, k, p, q), ratings, 0.1f);
+  for (const StoreKind kind : {StoreKind::kFp16, StoreKind::kInt8}) {
+    const auto row =
+        fold_in(FactorStore(kind, 1, items, k, p, q), ratings, 0.1f);
+    // int8 decode error (~0.4% per element) amplifies through the normal
+    // equations; observed deviation is ~0.06 on O(1) coefficients.
+    for (std::uint32_t f = 0; f < k; ++f) {
+      EXPECT_NEAR(row[f], fp32_row[f], 0.15) << store_kind_name(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcc::serve

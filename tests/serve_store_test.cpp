@@ -1,0 +1,134 @@
+// Tests for the quantized serving factor store (serve/store.hpp): decode
+// accuracy per kind, footprint ratios, odd-rank tail blocks.
+#include "serve/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "simd/dispatch.hpp"
+#include "util/rng.hpp"
+
+namespace hcc::serve {
+namespace {
+
+std::vector<float> random_rows(std::size_t rows, std::uint32_t k,
+                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(rows * k);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, 0.6));
+  return v;
+}
+
+FactorStore make_store(StoreKind kind, std::uint32_t users,
+                       std::uint32_t items, std::uint32_t k,
+                       const std::vector<float>& p,
+                       const std::vector<float>& q) {
+  return FactorStore(kind, users, items, k, p, q);
+}
+
+TEST(ServeStore, KindNamesRoundTrip) {
+  for (const StoreKind kind :
+       {StoreKind::kFp32, StoreKind::kFp16, StoreKind::kInt8}) {
+    StoreKind parsed = StoreKind::kFp32;
+    ASSERT_TRUE(parse_store_kind(store_kind_name(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  StoreKind parsed = StoreKind::kInt8;
+  EXPECT_FALSE(parse_store_kind("fp64", &parsed));
+  EXPECT_EQ(parsed, StoreKind::kInt8);  // untouched on failure
+}
+
+TEST(ServeStore, Fp32RoundTripIsExact) {
+  const std::uint32_t users = 5, items = 9, k = 17;
+  const auto p = random_rows(users, k, 1);
+  const auto q = random_rows(items, k, 2);
+  const auto store = make_store(StoreKind::kFp32, users, items, k, p, q);
+  std::vector<float> row(k);
+  for (std::uint32_t u = 0; u < users; ++u) {
+    store.decode_p_row(u, row.data());
+    for (std::uint32_t f = 0; f < k; ++f) {
+      EXPECT_EQ(row[f], p[std::size_t(u) * k + f]);
+    }
+    EXPECT_EQ(store.p_row_fp32(u)[0], p[std::size_t(u) * k]);
+  }
+  std::vector<float> rows(std::size_t(items) * k);
+  store.decode_q_rows(0, items, rows.data());
+  for (std::size_t f = 0; f < rows.size(); ++f) EXPECT_EQ(rows[f], q[f]);
+}
+
+TEST(ServeStore, Fp16WithinRelativeErrorBound) {
+  const std::uint32_t users = 4, items = 32, k = 40;
+  const auto p = random_rows(users, k, 3);
+  const auto q = random_rows(items, k, 4);
+  const auto store = make_store(StoreKind::kFp16, users, items, k, p, q);
+  EXPECT_EQ(store.p_row_fp32(0), nullptr);
+  std::vector<float> rows(std::size_t(items) * k);
+  store.decode_q_rows(0, items, rows.data());
+  for (std::size_t f = 0; f < rows.size(); ++f) {
+    EXPECT_NEAR(rows[f], q[f],
+                std::abs(q[f]) * util::kFp16RelativeError + 1e-7f);
+  }
+}
+
+TEST(ServeStore, Int8WithinPerBlockScaleBound) {
+  // k = 70 exercises a full 64-feature scale block plus a 6-feature tail.
+  const std::uint32_t users = 3, items = 21, k = 70;
+  const auto p = random_rows(users, k, 5);
+  const auto q = random_rows(items, k, 6);
+  const auto store = make_store(StoreKind::kInt8, users, items, k, p, q);
+  const auto& kt = simd::kernels();
+  std::vector<float> rows(std::size_t(items) * k);
+  store.decode_q_rows(0, items, rows.data());
+  for (std::uint32_t i = 0; i < items; ++i) {
+    const float* orig = q.data() + std::size_t(i) * k;
+    const float* dec = rows.data() + std::size_t(i) * k;
+    for (std::uint32_t b = 0; b * kScaleBlock < k; ++b) {
+      const std::uint32_t off = b * kScaleBlock;
+      const std::uint32_t elems = std::min(kScaleBlock, k - off);
+      // RNE quantization: |err| <= scale/2 = absmax/254 within each block.
+      const float bound = kt.absmax(orig + off, elems) / 254.0f + 1e-7f;
+      for (std::uint32_t f = 0; f < elems; ++f) {
+        EXPECT_NEAR(dec[off + f], orig[off + f], bound)
+            << "item " << i << " feature " << off + f;
+      }
+    }
+  }
+}
+
+TEST(ServeStore, FootprintRatiosMeetTargets) {
+  const std::uint32_t users = 200, items = 500, k = 64;
+  const auto p = random_rows(users, k, 7);
+  const auto q = random_rows(items, k, 8);
+  const auto fp32 = make_store(StoreKind::kFp32, users, items, k, p, q);
+  const auto fp16 = make_store(StoreKind::kFp16, users, items, k, p, q);
+  const auto int8 = make_store(StoreKind::kInt8, users, items, k, p, q);
+  const double base = static_cast<double>(fp32.store_bytes());
+  EXPECT_EQ(fp32.store_bytes(), std::size_t(users + items) * k * 4);
+  EXPECT_GE(base / static_cast<double>(fp16.store_bytes()), 1.9);
+  EXPECT_GE(base / static_cast<double>(int8.store_bytes()), 3.0);
+  EXPECT_EQ(fp16.q_row_bytes(), std::size_t(k) * 2);
+  EXPECT_EQ(int8.q_row_bytes(), std::size_t(k));
+}
+
+TEST(ServeStore, PartialDecodeMatchesFullDecode) {
+  const std::uint32_t users = 2, items = 40, k = 33;
+  const auto p = random_rows(users, k, 9);
+  const auto q = random_rows(items, k, 10);
+  for (const StoreKind kind :
+       {StoreKind::kFp32, StoreKind::kFp16, StoreKind::kInt8}) {
+    const auto store = make_store(kind, users, items, k, p, q);
+    std::vector<float> full(std::size_t(items) * k);
+    store.decode_q_rows(0, items, full.data());
+    std::vector<float> part(std::size_t(13) * k);
+    store.decode_q_rows(17, 13, part.data());
+    for (std::size_t f = 0; f < part.size(); ++f) {
+      EXPECT_EQ(part[f], full[std::size_t(17) * k + f])
+          << store_kind_name(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcc::serve

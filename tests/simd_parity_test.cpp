@@ -443,5 +443,82 @@ TEST(SimdParity, AllFiniteDetectsPlantedSpecials) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// score_block: the serving scan kernel — same ULP latitude as dot.
+// ---------------------------------------------------------------------------
+
+TEST(SimdParity, ScoreBlockWithinUlpBoundOfScalar) {
+  const auto* scalar = kernels_for(Isa::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  // Item counts around the 8-per-pass boundary; ranks around the vector
+  // widths, including the scalar-tail cases.
+  constexpr std::uint32_t kCounts[] = {1, 7, 8, 9, 16, 40, 100};
+  for (const KernelTable* table : available_tables()) {
+    for (const std::uint32_t k : kRanks) {
+      for (const std::uint32_t n : kCounts) {
+        const auto user = random_floats(k, 11 * k + n);
+        const auto q = random_floats(static_cast<std::size_t>(n) * k,
+                                     13 * k + n);
+        std::vector<float> expected(n);
+        std::vector<float> actual(n);
+        scalar->score_block(user.data(), q.data(), k, n, nullptr,
+                            expected.data());
+        table->score_block(user.data(), q.data(), k, n, nullptr,
+                           actual.data());
+        for (std::uint32_t i = 0; i < n; ++i) {
+          EXPECT_LE(ulp_distance(actual[i], expected[i]), 32.0)
+              << table->name << " k=" << k << " n=" << n << " item " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParity, ScoreBlockHonorsSkipMask) {
+  constexpr std::uint32_t k = 31;
+  constexpr std::uint32_t n = 27;
+  const auto user = random_floats(k, 7);
+  const auto q = random_floats(static_cast<std::size_t>(n) * k, 9);
+  // Mask a mix of full bytes and stragglers, including tail items.
+  std::vector<std::uint8_t> mask((n + 7) / 8, 0);
+  for (const std::uint32_t i : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 10u, 26u}) {
+    mask[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  for (const KernelTable* table : available_tables()) {
+    std::vector<float> scores(n, 0.0f);
+    table->score_block(user.data(), q.data(), k, n, mask.data(),
+                       scores.data());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const bool skipped = ((mask[i / 8] >> (i % 8)) & 1u) != 0;
+      if (skipped) {
+        EXPECT_EQ(scores[i], -std::numeric_limits<float>::infinity())
+            << table->name << " item " << i;
+      } else {
+        EXPECT_TRUE(std::isfinite(scores[i])) << table->name << " item " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdParity, ScoreBlockMatchesDotPerItem) {
+  // Each lane of the batched kernel must equal the same table's dot within
+  // ULPs (different accumulation shapes, same math).
+  constexpr std::uint32_t k = 128;
+  constexpr std::uint32_t n = 24;
+  const auto user = random_floats(k, 21);
+  const auto q = random_floats(static_cast<std::size_t>(n) * k, 23);
+  for (const KernelTable* table : available_tables()) {
+    std::vector<float> scores(n);
+    table->score_block(user.data(), q.data(), k, n, nullptr, scores.data());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const float expect =
+          table->dot(user.data(), q.data() + static_cast<std::size_t>(i) * k,
+                     k);
+      EXPECT_LE(ulp_distance(scores[i], expect), 32.0)
+          << table->name << " item " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hcc::simd

@@ -26,6 +26,7 @@ or file error.
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -59,13 +60,37 @@ def index_rows(doc):
     return rows
 
 
+def check_finite(doc, path):
+    """Refuse documents carrying NaN/inf metric values.
+
+    A non-finite number means the bench itself misbehaved (divided by a
+    zero time, overflowed an accumulator); comparing against it would
+    silently pass every gate (NaN comparisons are all false), so treat it
+    like a corrupt file.
+    """
+    bad = []
+    for section, entries in doc.get("sections", {}).items():
+        for i, row in enumerate(entries):
+            for metric, value in row.items():
+                if (isinstance(value, float)
+                        and not isinstance(value, bool)
+                        and not math.isfinite(value)):
+                    bad.append(f"{section}[{i}].{metric}={value}")
+    if bad:
+        print(f"bench_compare: non-finite metric values in {path}: "
+              + ", ".join(bad), file=sys.stderr)
+        sys.exit(2)
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as fh:
-            return json.load(fh)
+            doc = json.load(fh)
     except (OSError, ValueError) as err:
         print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
         sys.exit(2)
+    check_finite(doc, path)
+    return doc
 
 
 def main():
