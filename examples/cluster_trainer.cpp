@@ -21,7 +21,7 @@
 //
 //   ./cluster_trainer [--nodes=3] [--scale=0.002] [--epochs=8]
 //                     [--local_epochs=1] [--network=100g|10g|ib]
-//                     [--codec=fp32|fp16|int8|2bit]
+//                     [--codec=fp32|fp16|int8|2bit] [--pipeline-depth=N]
 //                     [--fault-plan=SPEC] [--checkpoint-dir=DIR]
 //                     [--transport=in-process|sim-latency|chaos] [--link=NAME]
 //                     [--heartbeat-ms=MS] [--timeout-ms=MS]
@@ -103,6 +103,10 @@ int main(int argc, char** argv) {
               << "' (expected fp32, fp16, int8 or 2bit)\n";
     return 1;
   }
+  // Chunked streaming on every node's pull/push (comm/pipeline.hpp);
+  // 1 = legacy single-shot transfers.
+  config.comm.pipeline_depth = static_cast<std::uint32_t>(
+      cli.get("pipeline-depth", std::int64_t{config.comm.pipeline_depth}));
   config.comm.transport.kind = comm::transport_kind_by_name(
       cli.get("transport", std::string("in-process")));
   config.comm.transport.link = cli.get("link", std::string("100GbE"));

@@ -39,6 +39,44 @@ void CommBackend::cross_wire(std::span<std::byte> wire) {
   }
 }
 
+void CommBackend::submit_chunk(std::span<const std::byte> wire) {
+  // In-process "wire": the chunk lands in the receiver's queue immediately;
+  // corruption (tap) and verification happen on delivery, so the sender's
+  // bytes stay pristine for a byte-identical re-submit after a failure.
+  if (resubmit_front_) {
+    // Pristine re-send after a ChecksumError: it replaces the discarded
+    // oldest chunk, ahead of any younger chunks still queued.
+    pending_chunks_.emplace_front(wire.begin(), wire.end());
+    resubmit_front_ = false;
+  } else {
+    pending_chunks_.emplace_back(wire.begin(), wire.end());
+  }
+}
+
+std::span<const std::byte> CommBackend::await_chunk() {
+  if (pending_chunks_.empty()) {
+    throw std::runtime_error(name() + ": await_chunk with nothing in flight");
+  }
+  ensure_metrics();
+  awaited_chunk_ = std::move(pending_chunks_.front());
+  pending_chunks_.pop_front();
+  // Per-chunk wire handling mirrors transfer(): tap, then the out-of-band
+  // checksum (8 extra billed bytes per chunk when enabled).
+  try {
+    cross_wire(awaited_chunk_);
+  } catch (...) {
+    resubmit_front_ = true;  // the corrupt chunk is gone; re-send goes first
+    throw;
+  }
+  const std::size_t billed =
+      awaited_chunk_.size() + (checksum_enabled() ? 8 : 0);
+  stats_.wire_bytes += billed;
+  stats_.copies += 1;
+  wire_bytes_counter_->add(billed);
+  transfers_counter_->add(1);
+  return awaited_chunk_;
+}
+
 void ShmComm::transfer(std::span<const float> src, std::span<float> dst,
                        Codec& codec) {
   assert(src.size() == dst.size());

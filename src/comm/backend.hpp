@@ -80,6 +80,31 @@ class CommBackend {
   /// backends, so the legacy wire path is untouched.
   virtual void begin_epoch(std::uint32_t epoch) { (void)epoch; }
 
+  // --- Split-phase chunk API (comm/pipeline.hpp) ------------------------
+  //
+  // A StreamPipeline moves one logical transfer as several pre-encoded
+  // chunks so the sender's encode overlaps the wire and the receiver's
+  // commit.  Contract: submit_chunk() enqueues wire bytes without blocking
+  // on delivery; await_chunk() blocks until the *oldest* outstanding chunk
+  // is delivered and returns a view of its bytes (valid until the next
+  // submit/await/settle call), throwing ChecksumError when the payload was
+  // corrupted in flight — the caller re-submits its pristine copy;
+  // settle_chunks() runs after the last await and quiesces the transfer
+  // (for sessions: pumps until every frame is acked).  The base
+  // implementation queues in-process copies, so every backend supports the
+  // pipeline; SessionComm overrides it with real windowed frames.
+
+  /// Enqueues one chunk's wire bytes (may deliver instantly in-process).
+  virtual void submit_chunk(std::span<const std::byte> wire);
+  /// Delivers the oldest outstanding chunk, in submission order.
+  virtual std::span<const std::byte> await_chunk();
+  /// Post-transfer barrier: returns once nothing is outstanding.
+  virtual void settle_chunks() {}
+  /// Outstanding submitted-but-not-awaited chunks.
+  virtual std::size_t chunks_in_flight() const noexcept {
+    return pending_chunks_.size();
+  }
+
   const TransferStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
@@ -105,6 +130,13 @@ class CommBackend {
   TransferStats stats_;
   bool checksum_ = false;
   WireTap tap_;
+  /// Base chunk-API state: queued in-process chunk copies and the delivered
+  /// buffer await_chunk() hands out.  After a ChecksumError the next
+  /// submit_chunk() is the caller's pristine re-send and must jump ahead of
+  /// any younger chunks already queued, preserving in-order delivery.
+  std::deque<std::vector<std::byte>> pending_chunks_;
+  std::vector<std::byte> awaited_chunk_;
+  bool resubmit_front_ = false;
   obs::Counter* wire_bytes_counter_ = nullptr;
   obs::Counter* transfers_counter_ = nullptr;
   obs::Counter* messages_counter_ = nullptr;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "comm/backend.hpp"  // ChecksumError (sparse index-frame mismatch)
 #include "obs/metrics.hpp"
 #include "simd/dispatch.hpp"
 #include "util/clock.hpp"
@@ -246,6 +247,46 @@ void TwoBitCodec::encode_block(const float* e, std::size_t elems,
   std::memcpy(out, &threshold, 4);
   kernels.two_bit_encode(e, threshold,
                          reinterpret_cast<std::uint8_t*>(out + 4), elems);
+}
+
+SparseIndexedCodec::SparseIndexedCodec(std::unique_ptr<Codec> inner,
+                                       std::size_t row_elems)
+    : inner_(std::move(inner)), row_elems_(row_elems > 0 ? row_elems : 1) {
+  assert(inner_ != nullptr);
+}
+
+std::size_t SparseIndexedCodec::encoded_bytes(std::size_t n_floats) const {
+  assert(n_floats % row_elems_ == 0 && "packed payload must be whole rows");
+  return header_bytes(n_floats / row_elems_) + inner_->encoded_bytes(n_floats);
+}
+
+void SparseIndexedCodec::encode_impl(std::span<const float> src,
+                                     std::span<std::byte> dst) {
+  const std::size_t rows = src.size() / row_elems_;
+  assert(rows == rows_.size() && "set_rows() out of sync with the payload");
+  assert(dst.size() >= encoded_bytes(src.size()));
+  const std::uint32_t count = static_cast<std::uint32_t>(rows);
+  std::memcpy(dst.data(), &count, 4);
+  if (rows > 0) {
+    std::memcpy(dst.data() + 4, rows_.data(), 4 * rows);
+  }
+  delegate_encode(*inner_, src, dst.subspan(header_bytes(rows)));
+}
+
+void SparseIndexedCodec::decode_impl(std::span<const std::byte> src,
+                                     std::span<float> dst) {
+  const std::size_t rows = dst.size() / row_elems_;
+  assert(src.size() >= encoded_bytes(dst.size()));
+  std::uint32_t count = 0;
+  std::memcpy(&count, src.data(), 4);
+  // A header that disagrees with the receiver's expected row set means the
+  // packed slots would scatter to the wrong Q rows; discard before the
+  // inner codec commits, like a payload checksum failure.
+  if (count != rows ||
+      (rows > 0 && std::memcmp(src.data() + 4, rows_.data(), 4 * rows) != 0)) {
+    throw ChecksumError(name() + " row index frame");
+  }
+  delegate_decode(*inner_, src.subspan(header_bytes(rows)), dst);
 }
 
 void TwoBitCodec::decode_block(const std::byte* in, std::size_t elems,

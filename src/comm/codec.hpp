@@ -93,6 +93,18 @@ class Codec {
                            std::span<std::byte> dst) = 0;
   virtual void decode_impl(std::span<const std::byte> src,
                            std::span<float> dst) = 0;
+
+  /// Bridges for adapter codecs (SparseIndexedCodec): invoke another
+  /// codec's raw implementation without re-entering the metric-feeding
+  /// public wrappers, so a wrapped transfer is counted exactly once.
+  static void delegate_encode(Codec& inner, std::span<const float> src,
+                              std::span<std::byte> dst) {
+    inner.encode_impl(src, dst);
+  }
+  static void delegate_decode(Codec& inner, std::span<const std::byte> src,
+                              std::span<float> dst) {
+    inner.decode_impl(src, dst);
+  }
 };
 
 /// Pass-through binary32 codec (memcpy on the wire).
@@ -222,6 +234,55 @@ class Int8Codec final : public QuantizedCodec {
                     std::byte* out) override;
   void decode_block(const std::byte* in, std::size_t elems, const float* e,
                     float* ref, float* residual, float* dst) override;
+};
+
+/// Sparse-aware framing for the quantized sparse push path ("Strategy 4"
+/// meets the sub-FP16 codecs): the packed value block rides the inner
+/// error-feedback codec unchanged, and the wire additionally carries the
+/// row-index list that gives the packed slots meaning on a real link.
+///
+/// Wire layout:  [u32 row_count][u32 index x row_count][inner wire bytes].
+/// The indices are raw (uncompressed) — they are 4/(4k) of the fp32 payload
+/// at rank k, exactly the `4 x touched(n)` term the cost model already
+/// bills for sparse transfers.  The decoder verifies the received header
+/// against the expected row set before letting the inner codec commit;
+/// a mismatch throws (the packed slots would be scattered to the wrong Q
+/// rows), surfacing like a checksum failure so the retry machinery takes
+/// over.
+///
+/// Statefulness forwards to the inner codec: reset_state() re-keyframes it,
+/// and encode writes nothing but the inner scratch, so aborted transfers
+/// retry byte-identically — indices included, since set_rows is the
+/// caller's and unchanged across a retry.
+class SparseIndexedCodec final : public Codec {
+ public:
+  /// `row_elems` is the packed row width (the factor rank k); n_floats must
+  /// always be rows * row_elems.
+  SparseIndexedCodec(std::unique_ptr<Codec> inner, std::size_t row_elems);
+
+  /// Sets the row-index list for subsequent transfers (the worker's touched
+  /// set, or one chunk's slice of it).  The span must stay valid across the
+  /// transfer; it is re-armed per epoch by the owner.
+  void set_rows(std::span<const std::uint32_t> rows) { rows_ = rows; }
+
+  std::size_t encoded_bytes(std::size_t n_floats) const override;
+  std::string name() const override { return "sparse+" + inner_->name(); }
+  bool stateful() const noexcept override { return inner_->stateful(); }
+  void reset_state() override { inner_->reset_state(); }
+
+  /// Header bytes preceding the inner payload for `rows` packed rows.
+  static std::size_t header_bytes(std::size_t rows) { return 4 + 4 * rows; }
+
+ protected:
+  void encode_impl(std::span<const float> src,
+                   std::span<std::byte> dst) override;
+  void decode_impl(std::span<const std::byte> src,
+                   std::span<float> dst) override;
+
+ private:
+  std::unique_ptr<Codec> inner_;
+  std::size_t row_elems_;
+  std::span<const std::uint32_t> rows_;
 };
 
 /// Error-feedback 2-bit threshold codec: values quantize to {-t, 0, +t}

@@ -171,14 +171,13 @@ bool SessionComm::receiver_handle(std::vector<std::byte>& frame) {
     return true;
   }
   if (header.seq == last_delivered_seq_ + 1) {
-    delivered_.assign(payload.begin(), payload.end());
-    delivered_ready_ = true;
+    delivered_q_.emplace_back(payload.begin(), payload.end());
     last_delivered_seq_ = header.seq;
     // Release any parked successors now contiguous.
     auto it = reorder_buffer_.begin();
     while (it != reorder_buffer_.end() &&
            it->first == last_delivered_seq_ + 1) {
-      delivered_ = std::move(it->second);
+      delivered_q_.push_back(std::move(it->second));
       last_delivered_seq_ = it->first;
       it = reorder_buffer_.erase(it);
     }
@@ -256,11 +255,15 @@ void SessionComm::reconnect_with_backoff() {
 }
 
 void SessionComm::pump_until_acked() {
+  pump_until([&] { return unacked_.empty(); });
+}
+
+void SessionComm::pump_until(const std::function<bool()>& done) {
   std::uint64_t last_progress = transport_->now();
   std::uint64_t last_sent = transport_->now();
   std::uint64_t retransmit_due = transport_->now() + rto_ticks_;
   std::uint64_t guard = 0;
-  while (!unacked_.empty()) {
+  while (!done()) {
     if (++guard > kPumpGuard) {
       throw std::runtime_error("SessionComm: pump exceeded " +
                                std::to_string(kPumpGuard) +
@@ -302,6 +305,61 @@ void SessionComm::pump_until_acked() {
   }
 }
 
+void SessionComm::refresh_timers(std::size_t frame_bytes) {
+  // Cost-model-derived timers, sized to this frame: RTO after a couple of
+  // modeled round trips, heartbeat at the configured cadence, dead-link
+  // declaration at max(4 x RTT, 3 x heartbeat) unless overridden.
+  const std::uint64_t rtt_ticks = transport_->one_way_ticks(frame_bytes) +
+                                  transport_->one_way_ticks(FrameHeader::kBytes) +
+                                  2;
+  heartbeat_ticks_ = ms_to_ticks(config_.heartbeat_ms);
+  rto_ticks_ = 2 * rtt_ticks + 2;
+  timeout_ticks_ =
+      config_.timeout_ms > 0.0
+          ? ms_to_ticks(config_.timeout_ms)
+          : std::max<std::uint64_t>(4 * rtt_ticks, 3 * heartbeat_ticks_);
+}
+
+void SessionComm::submit_chunk(std::span<const std::byte> wire) {
+  ensure_metrics();
+  ensure_transport_metrics();
+  const std::uint64_t seq = next_seq_++;
+  unacked_[seq] = make_frame(FrameType::kData, seq, wire);
+  refresh_timers(unacked_[seq].size());
+  transmit(seq);
+  ++outstanding_chunks_;
+  // Opportunistic non-advancing drain: deliveries and acks that already
+  // arrived are absorbed now, so await_chunk() often returns immediately.
+  drain();
+}
+
+std::span<const std::byte> SessionComm::await_chunk() {
+  if (outstanding_chunks_ == 0) {
+    throw std::runtime_error(name() + ": await_chunk with nothing in flight");
+  }
+  // Corruption never surfaces here: a damaged frame fails its header
+  // checksum at the receiver, the ack is withheld and the pristine stored
+  // frame is retransmitted — the session heals below the chunk API.
+  pump_until([&] { return !delivered_q_.empty(); });
+  awaited_ = std::move(delivered_q_.front());
+  delivered_q_.pop_front();
+  --outstanding_chunks_;
+  const std::size_t billed = awaited_.size() + FrameHeader::kBytes;
+  stats_.wire_bytes += billed;
+  stats_.copies += 2;  // sender frame pack + receiver delivery
+  stats_.messages += 1;
+  wire_bytes_counter_->add(billed);
+  transfers_counter_->add(1);
+  messages_counter_->add(1);
+  return awaited_;
+}
+
+void SessionComm::settle_chunks() {
+  if (unacked_.empty()) return;
+  ensure_transport_metrics();
+  pump_until_acked();
+}
+
 void SessionComm::transfer(std::span<const float> src, std::span<float> dst,
                            Codec& codec) {
   assert(src.size() == dst.size());
@@ -317,31 +375,20 @@ void SessionComm::transfer(std::span<const float> src, std::span<float> dst,
 
   const std::uint64_t seq = next_seq_++;
   unacked_[seq] = make_frame(FrameType::kData, seq, payload);
-  delivered_.clear();
-  delivered_ready_ = false;
-
-  // Cost-model-derived timers, sized to this frame: RTO after a couple of
-  // modeled round trips, heartbeat at the configured cadence, dead-link
-  // declaration at max(4 x RTT, 3 x heartbeat) unless overridden.
-  const std::uint64_t rtt_ticks =
-      transport_->one_way_ticks(unacked_[seq].size()) +
-      transport_->one_way_ticks(FrameHeader::kBytes) + 2;
-  heartbeat_ticks_ = ms_to_ticks(config_.heartbeat_ms);
-  rto_ticks_ = 2 * rtt_ticks + 2;
-  timeout_ticks_ = config_.timeout_ms > 0.0
-                       ? ms_to_ticks(config_.timeout_ms)
-                       : std::max<std::uint64_t>(4 * rtt_ticks,
-                                                 3 * heartbeat_ticks_);
+  delivered_q_.clear();
+  refresh_timers(unacked_[seq].size());
 
   transmit(seq);
   pump_until_acked();
 
-  if (!delivered_ready_ || delivered_.size() != wire) {
+  if (delivered_q_.empty() || delivered_q_.front().size() != wire) {
     throw std::runtime_error(
         "SessionComm: transfer acked without a matching delivery");
   }
+  awaited_ = std::move(delivered_q_.front());
+  delivered_q_.pop_front();
   codec_watch.reset();
-  codec.decode(std::span<const std::byte>(delivered_.data(), wire), dst);
+  codec.decode(std::span<const std::byte>(awaited_.data(), wire), dst);
   codec_s += codec_watch.seconds();
   codec_hist_->observe(codec_s);
 

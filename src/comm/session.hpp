@@ -29,6 +29,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -84,6 +86,19 @@ class SessionComm final : public CommBackend {
   std::string name() const override { return "COMM-T"; }
   void begin_epoch(std::uint32_t epoch) override;
 
+  /// Windowed chunk mode (comm/pipeline.hpp): each chunk is its own
+  /// sequence-numbered data frame, so several are in flight per logical
+  /// transfer.  The receiver still delivers in order exactly once — chaos
+  /// drop/dup/reorder heal through the same retransmit/reorder machinery —
+  /// and settle_chunks() pumps until every frame is acked, restoring the
+  /// one-transfer-at-a-time invariant between transfers.
+  void submit_chunk(std::span<const std::byte> wire) override;
+  std::span<const std::byte> await_chunk() override;
+  void settle_chunks() override;
+  std::size_t chunks_in_flight() const noexcept override {
+    return outstanding_chunks_;
+  }
+
   const TransportStats& transport_stats() const noexcept { return tstats_; }
   Transport& link_transport() noexcept { return *transport_; }
   std::uint32_t session_id() const noexcept { return session_; }
@@ -96,7 +111,13 @@ class SessionComm final : public CommBackend {
   /// session id.
   void transmit(std::uint64_t seq);
   void send_control(FrameType type, std::uint64_t seq);
+  /// Sizes the RTT/RTO/timeout timers from the largest frame currently in
+  /// flight (transfer() and submit_chunk() both route through this).
+  void refresh_timers(std::size_t frame_bytes);
   void pump_until_acked();
+  /// Core protocol loop shared by every blocking wait: drains, heartbeats,
+  /// retransmits on RTO and reconnects on timeout until `done()` holds.
+  void pump_until(const std::function<bool()>& done);
   /// Drains both directions; true when anything at all arrived (liveness).
   bool drain();
   bool receiver_handle(std::vector<std::byte>& frame);
@@ -115,11 +136,15 @@ class SessionComm final : public CommBackend {
   std::map<std::uint64_t, std::vector<std::byte>> unacked_;  ///< pristine
   std::map<std::uint64_t, std::uint64_t> send_tick_;
 
-  // Receiver state.
+  // Receiver state.  Deliveries queue in order; legacy transfer() pops
+  // exactly one, windowed await_chunk() pops them as they land.
   std::uint64_t last_delivered_seq_ = 0;
   std::map<std::uint64_t, std::vector<std::byte>> reorder_buffer_;
-  std::vector<std::byte> delivered_;
-  bool delivered_ready_ = false;
+  std::deque<std::vector<std::byte>> delivered_q_;
+  std::vector<std::byte> awaited_;  ///< backs the span await_chunk() returns
+
+  /// Chunks submitted but not yet awaited (windowed mode).
+  std::size_t outstanding_chunks_ = 0;
 
   // Timers (ticks), refreshed per transfer from the frame size.
   std::uint64_t heartbeat_ticks_ = 1;

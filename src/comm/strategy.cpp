@@ -43,6 +43,9 @@ sim::CommPlan make_comm_plan(const CommConfig& config,
   // wire encoding (Eq. 3 counts elements, not wire bytes).
   plan.sync_bytes = static_cast<double>(
       push_elements(shape, mode, last_epoch) * 4);
+  plan.pull_raw_bytes = static_cast<double>(pull_elements(shape, mode) * 4);
+  plan.push_raw_bytes =
+      static_cast<double>(push_elements(shape, mode, last_epoch) * 4);
 
   // Strategy 4 (extension): only the touched Q rows travel and merge.  The
   // exchanged-dimension term shrinks from n to touched(n); the final P&Q
@@ -54,6 +57,8 @@ sim::CommPlan make_comm_plan(const CommConfig& config,
     plan.pull_bytes = plan.pull_bytes * frac + index_bytes;
     plan.push_bytes = plan.push_bytes * frac + index_bytes;
     plan.sync_bytes *= frac;
+    plan.pull_raw_bytes *= frac;
+    plan.push_raw_bytes *= frac;
   }
 
   double efficiency = config.shm_bus_efficiency;
@@ -65,6 +70,19 @@ sim::CommPlan make_comm_plan(const CommConfig& config,
   if (kind != CodecKind::kFp32) efficiency *= config.fp16_bus_bonus;
   plan.bus_efficiency = efficiency;
   plan.streams = effective_streams(config, device);
+
+  // Chunked streaming (Eq. 1 overlap term): stage rates are only modeled
+  // for the stateful quantized codecs, whose encode (EF delta + quantize)
+  // and commit (dequantize + reference update) are the heavy stages worth
+  // hiding behind the wire.  fp32/fp16 keep rates at 0 — the cost model
+  // then falls back to the legacy wire-only prediction, so depth > 1 with
+  // an unmodeled codec predicts exactly what depth 1 does.
+  plan.pipeline_depth = std::max(1u, config.pipeline_depth);
+  if (plan.pipeline_depth > 1 &&
+      (kind == CodecKind::kInt8 || kind == CodecKind::kTwoBit)) {
+    plan.encode_gbs = config.codec_encode_gbs;
+    plan.commit_gbs = config.codec_commit_gbs;
+  }
   return plan;
 }
 

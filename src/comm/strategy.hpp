@@ -44,6 +44,12 @@ struct CommConfig {
                                ///< bytes); transfer() throws ChecksumError
                                ///< on corruption.  Enabled by HccMf when a
                                ///< fault plan / checkpoint dir is active.
+  /// Chunked-streaming extension: how many row-aligned chunks of one P/Q
+  /// transfer may be in flight at once (comm/pipeline.hpp).  Depth 1 (the
+  /// default) is the legacy single-shot path, bit-identical on the wire;
+  /// depth > 1 overlaps chunk i's encode with chunk i-1's wire transfer
+  /// and decode-side commit.
+  std::uint32_t pipeline_depth = 1;
   BackendKind backend = BackendKind::kShm;
 
   /// Elastic-transport extension: what kind of link the pull/push wire is.
@@ -61,6 +67,12 @@ struct CommConfig {
   double broker_penalty = 6.67;
   /// Above-linear FP16 gain the paper measures ("more data being cached").
   double fp16_bus_bonus = 1.5;
+  /// Quantized-codec stage rates over RAW fp32 bytes, feeding the Eq. 1
+  /// overlap term when pipeline_depth > 1.  The EF commit is memory-bound
+  /// (~3.3 GB/s measured, see ROADMAP); encode is a little faster because
+  /// the delta pass reads less state than the commit writes.
+  double codec_encode_gbs = 4.0;
+  double codec_commit_gbs = 3.3;
 };
 
 /// Payload mode after applying (or not applying) Strategy 1.

@@ -7,15 +7,37 @@ namespace hcc::core {
 
 namespace {
 constexpr double kGiga = 1e9;
+
+/// One direction's transfer time under the chunked streaming pipeline
+/// (comm/pipeline.hpp).  At depth 1 — or with unmodeled codec rates — the
+/// direction costs its serial wire time, exactly the legacy prediction.
+/// With depth > 1 the ring keeps encode, wire and commit busy at once, so
+/// steady state costs max(encode, wire, commit) per chunk: the Eq. 1
+/// overlap term.  The two non-dominant stages survive only at the window
+/// fill/drain edges, which per-epoch totals can ignore.
+double direction_seconds(double wire_bytes, double raw_bytes, double bus_gbs,
+                         const sim::CommPlan& comm) {
+  const double wire_s = wire_bytes / (bus_gbs * kGiga);
+  if (comm.pipeline_depth <= 1 || comm.encode_gbs <= 0.0 ||
+      comm.commit_gbs <= 0.0) {
+    return wire_s;
+  }
+  const double encode_s = raw_bytes / (comm.encode_gbs * kGiga);
+  const double commit_s = raw_bytes / (comm.commit_gbs * kGiga);
+  return std::max({encode_s, wire_s, commit_s});
 }
+
+}  // namespace
 
 double predicted_worker_seconds(const sim::DeviceSpec& device,
                                 const sim::DatasetShape& shape, double share,
                                 const sim::CommPlan& comm) {
   const double bus_gbs =
       sim::bus_bandwidth_gbs(device.bus) * comm.bus_efficiency;
-  const double pull_s = comm.pull_bytes / (bus_gbs * kGiga);
-  const double push_s = comm.push_bytes / (bus_gbs * kGiga);
+  const double pull_s =
+      direction_seconds(comm.pull_bytes, comm.pull_raw_bytes, bus_gbs, comm);
+  const double push_s =
+      direction_seconds(comm.push_bytes, comm.push_raw_bytes, bus_gbs, comm);
   const double comp_s = sim::compute_seconds(device, shape, share);
   // With S async streams the pipeline exposes only ~1/S of the transfers
   // (Figure 6); the rest hides under compute.
@@ -30,8 +52,10 @@ PhaseCost predicted_phase_cost(const sim::DeviceSpec& device,
   PhaseCost cost;
   const double bus_gbs =
       sim::bus_bandwidth_gbs(device.bus) * comm.bus_efficiency;
-  cost.pull_s = comm.pull_bytes / (bus_gbs * kGiga);
-  cost.push_s = comm.push_bytes / (bus_gbs * kGiga);
+  cost.pull_s =
+      direction_seconds(comm.pull_bytes, comm.pull_raw_bytes, bus_gbs, comm);
+  cost.push_s =
+      direction_seconds(comm.push_bytes, comm.push_raw_bytes, bus_gbs, comm);
   cost.compute_s =
       sim::compute_seconds(device, shape, share) + device.epoch_overhead_s;
   cost.sync_s = predicted_sync_seconds(server, comm);

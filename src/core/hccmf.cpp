@@ -89,6 +89,11 @@ std::vector<ConfigError> HccMfConfig::validate() const {
   if (comm.streams == 0) {
     reject(ConfigErrorCode::kZeroStreams, "comm.streams is 0");
   }
+  if (comm.pipeline_depth == 0 || comm.pipeline_depth > 64) {
+    reject(ConfigErrorCode::kBadPipelineDepth,
+           "comm.pipeline_depth must be in [1, 64] (1 = legacy single-shot "
+           "transfers)");
+  }
   if (adaptive_repartition &&
       (adaptive.gain <= 0.0 || adaptive.gain > 1.0)) {
     reject(ConfigErrorCode::kBadAdaptiveGain,

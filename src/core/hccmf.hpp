@@ -55,6 +55,7 @@ enum class ConfigErrorCode {
   kZeroReconnectBudget,
   kBadTransportLink,
   kPublishNeedsRegistry,
+  kBadPipelineDepth,
 };
 
 struct ConfigError {

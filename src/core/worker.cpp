@@ -104,8 +104,8 @@ void TrainWorker::absorb_entries(const std::vector<data::Rating>& entries) {
   // A repartition reshuffles what each packed slot means (and under sparse
   // push, the packed length): the delta coders' references are stale, so
   // force the next transfer per direction to re-keyframe.
-  if (pull_codec_ != nullptr) pull_codec_->reset_state();
-  if (push_codec_ != nullptr) push_codec_->reset_state();
+  if (pull_pipe_ != nullptr) pull_pipe_->reset_state();
+  if (push_pipe_ != nullptr) push_pipe_->reset_state();
 }
 
 void TrainWorker::record_phase(double seconds, double obs::PhaseTimes::*field,
@@ -123,30 +123,31 @@ void TrainWorker::apply_real_stall(double elapsed_s) const {
       std::chrono::duration<double>((stall_factor_ - 1.0) * elapsed_s));
 }
 
-void TrainWorker::transfer_with_retry(std::span<const float> src,
-                                      std::span<float> dst,
-                                      comm::Codec& codec) {
-  std::uint32_t attempt = 0;
-  for (;;) {
-    try {
-      backend_->transfer(src, dst, codec);
-      return;
-    } catch (const comm::ChecksumError&) {
-      if (fault_ == nullptr) throw;
-      fault_->count_checksum_failure();
-      if (attempt >= fault_->options().max_retries) {
-        throw fault::TransferFailure(id_, attempt + 1, backend_->name());
+comm::StreamPipeline::RetryFn TrainWorker::retry_policy() {
+  return [this](const std::function<void()>& attempt) {
+    std::uint32_t tries = 0;
+    for (;;) {
+      try {
+        attempt();
+        return;
+      } catch (const comm::ChecksumError&) {
+        if (fault_ == nullptr) throw;
+        fault_->count_checksum_failure();
+        if (tries >= fault_->options().max_retries) {
+          throw fault::TransferFailure(id_, tries + 1, backend_->name());
+        }
+        // The attempt re-sends pristine bytes (a depth-1 transfer even
+        // re-encodes from `src`), so a retry is idempotent.
+        fault_->count_retry();
+        const double backoff = fault_->options().backoff_base_s *
+                               static_cast<double>(1u << tries);
+        if (backoff > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        }
+        ++tries;
       }
-      // The transfer re-reads `src`, so a retry is idempotent.
-      fault_->count_retry();
-      const double backoff =
-          fault_->options().backoff_base_s * static_cast<double>(1u << attempt);
-      if (backoff > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-      }
-      ++attempt;
     }
-  }
+  };
 }
 
 void TrainWorker::gather_touched(std::span<const float> q,
@@ -172,11 +173,16 @@ void TrainWorker::scatter_touched(const std::vector<float>& packed,
 void TrainWorker::ensure_buffers(Server& server) {
   const std::size_t q_size = server.model().q_data().size();
   const std::uint32_t k = server.model().k();
-  if (pull_codec_ == nullptr) {
+  if (pull_pipe_ == nullptr) {
     // Built here, not in the constructor: the quantized codecs want the
     // rank for their per-row scale blocks, and k lives on the server.
-    pull_codec_ = comm::make_pull_codec(comm_config_, k);
-    push_codec_ = comm::make_codec(comm_config_, k);
+    // Sparse pushes carry their row indices in-band when the codec is a
+    // stateful quantizer (SparseIndexedCodec), making the packed wire
+    // self-describing; fp32/fp16 sparse wire stays bit-identical.
+    pull_pipe_ = std::make_unique<comm::StreamPipeline>(
+        comm_config_, k, comm::StreamPipeline::Direction::kPull);
+    push_pipe_ = std::make_unique<comm::StreamPipeline>(
+        comm_config_, k, comm::StreamPipeline::Direction::kPush, sparse_);
   }
   if (local_q_.size() != q_size) {
     local_q_.assign(q_size, 0.0f);
@@ -203,6 +209,7 @@ void TrainWorker::ensure_buffers(Server& server) {
 void TrainWorker::pull_into(Server& server, util::AlignedFloats& q_dst,
                             std::vector<float>& snap_dst) {
   const std::uint32_t k = server.model().k();
+  const comm::StreamPipeline::RetryFn retry = retry_policy();
   if (sparse_) {
     // Strategy 4: only the touched Q rows cross the wire.
     if (parallel_) {
@@ -210,21 +217,32 @@ void TrainWorker::pull_into(Server& server, util::AlignedFloats& q_dst,
     } else {
       gather_touched(server.model().q_data(), packed_send_, k);
     }
-    transfer_with_retry(packed_send_, packed_recv_, *pull_codec_);
+    pull_pipe_->transfer(*backend_, packed_send_, packed_recv_, retry);
     scatter_touched(packed_recv_, q_dst, k);
-  } else if (parallel_) {
+    // The snapshot is what this worker *received* (post-codec), so the
+    // later delta merge cancels the pull's quantization exactly.  The
+    // untouched rows copy local (stale) values: their delta is then exactly
+    // zero, so they neither travel nor merge.
+    std::copy(q_dst.begin(), q_dst.end(), snap_dst.begin());
+    return;
+  }
+  // Dense pulls snapshot per chunk as each lands — under a depth > 1
+  // pipeline the copy of chunk i overlaps the wire of chunk i+1.
+  const comm::StreamPipeline::ChunkHook snapshot_chunk =
+      [&](std::size_t lo, std::size_t hi) {
+        std::copy(q_dst.begin() + lo, q_dst.begin() + hi,
+                  snap_dst.begin() + lo);
+      };
+  if (parallel_) {
     // Concurrent execution: other workers may be merging right now, so the
     // global read goes through the server's stripe locks.
     server.read_q(pull_staging_);
-    transfer_with_retry(pull_staging_, q_dst, *pull_codec_);
+    pull_pipe_->transfer(*backend_, pull_staging_, q_dst, retry,
+                         snapshot_chunk);
   } else {
-    transfer_with_retry(server.model().q_data(), q_dst, *pull_codec_);
+    pull_pipe_->transfer(*backend_, server.model().q_data(), q_dst, retry,
+                         snapshot_chunk);
   }
-  // The snapshot is what this worker *received* (post-codec), so the later
-  // delta merge cancels the pull's quantization exactly.  Under sparse
-  // push the untouched rows copy local (stale) values: their delta is then
-  // exactly zero, so they neither travel nor merge.
-  std::copy(q_dst.begin(), q_dst.end(), snap_dst.begin());
 }
 
 void TrainWorker::pull(Server& server) {
@@ -460,15 +478,20 @@ void TrainWorker::push(Server& server) {
     backend_->begin_epoch(fault_->injector().current_epoch());
   }
   obs::ScopedSpan span("push", obs::kPhaseCategory, track_of(id_));
+  const comm::StreamPipeline::RetryFn retry = retry_policy();
   if (sparse_) {
     const std::uint32_t k = server.model().k();
     gather_touched(local_q_, packed_send_, k);
-    transfer_with_retry(packed_send_, packed_recv_, *push_codec_);
+    // Quantized sparse pushes ride the SparseIndexedCodec framing: the
+    // packed values go through the int8/2-bit wire with their row indices
+    // in-band (wired up in ensure_buffers).
+    push_pipe_->set_sparse_rows(touched_);
+    push_pipe_->transfer(*backend_, packed_send_, packed_recv_, retry);
     // Untouched rows carry the snapshot, so their merge delta is zero.
     std::copy(snapshot_q_.begin(), snapshot_q_.end(), push_staging_.begin());
     scatter_touched(packed_recv_, push_staging_, k);
   } else {
-    transfer_with_retry(local_q_, push_staging_, *push_codec_);
+    push_pipe_->transfer(*backend_, local_q_, push_staging_, retry);
   }
   if (fault_ != nullptr) fault_->injector().end_push(id_);
   record_phase(span.stop(), &obs::PhaseTimes::push_s, hist_push_);

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "comm/pipeline.hpp"
 #include "comm/strategy.hpp"
 #include "core/server.hpp"
 #include "core/steal_queue.hpp"
@@ -272,12 +273,12 @@ class TrainWorker {
   /// Recomputes touched_ from the slice (after absorb_entries).
   void rebuild_touched();
 
-  /// backend_->transfer with bounded retry + exponential backoff on
-  /// checksum failure; gives up with fault::TransferFailure.  Safe for
-  /// stateful codecs: their state commits at decode, which a checksum
-  /// failure precedes, so the retry re-encodes byte-identical wire.
-  void transfer_with_retry(std::span<const float> src, std::span<float> dst,
-                           comm::Codec& codec);
+  /// The worker's delivery-retry policy, handed to the stream pipelines:
+  /// bounded retry + exponential backoff on checksum failure, giving up
+  /// with fault::TransferFailure.  Safe for stateful codecs: their state
+  /// commits at decode, which a checksum failure precedes, so the retry
+  /// re-sends byte-identical wire (per chunk, under a depth > 1 pipeline).
+  comm::StreamPipeline::RetryFn retry_policy();
 
   /// The shared ASGD inner loop over `entries[lo, hi)` against this
   /// worker's local Q (global P in place) — the body of compute_chunk and
@@ -323,16 +324,18 @@ class TrainWorker {
   data::ScheduleStats sched_stats_;    ///< last prepare_epoch() result
   std::uint32_t last_chunk_ = 0;  ///< chunk index the pending push covers
   std::unique_ptr<comm::CommBackend> backend_;
-  /// Kept to build the per-direction codecs once the rank k is known
+  /// Kept to build the per-direction pipelines once the rank k is known
   /// (ensure_buffers), so quantized codecs get one absmax scale per Q row.
   comm::CommConfig comm_config_;
-  /// This worker's wire codecs, one per direction: the sub-FP16 codecs are
-  /// stateful delta coders, so pull and push are separate streams, and
-  /// sharing the server's instance across workers would interleave them.
-  /// The pipeline orders every use (prefetch pulls happen-before the next
-  /// push via join_prefetch), so no locking is needed.
-  std::unique_ptr<comm::Codec> pull_codec_;
-  std::unique_ptr<comm::Codec> push_codec_;
+  /// This worker's wire paths, one StreamPipeline per direction: the
+  /// sub-FP16 codecs are stateful delta coders, so pull and push are
+  /// separate streams, and sharing the server's instance across workers
+  /// would interleave them.  At depth 1 each pipeline is exactly the old
+  /// single-codec transfer; at depth > 1 it streams row-aligned chunks.
+  /// The epoch pipeline orders every use (prefetch pulls happen-before the
+  /// next push via join_prefetch), so no locking is needed.
+  std::unique_ptr<comm::StreamPipeline> pull_pipe_;
+  std::unique_ptr<comm::StreamPipeline> push_pipe_;
   /// 64-byte-aligned: the SGD inner loop streams over these Q rows.
   util::AlignedFloats local_q_;
   std::vector<float> snapshot_q_;

@@ -34,6 +34,17 @@ struct CommPlan {
                                  ///< (COMM ~ 1.0; COMM-P ~ 1/7; the FP16
                                  ///< cache effect can push it above 1)
   std::uint32_t streams = 1;     ///< async pipeline depth (1 = sequential)
+
+  // Chunked-streaming extension (comm/pipeline.hpp).  With depth > 1 and
+  // modeled codec rates, each direction's steady-state cost per chunk is
+  // max(encode, wire, commit) — the Eq. 1 overlap term — instead of the
+  // serial wire-only time.  Rates of 0 mean "unmodeled" (fp32/fp16 paths),
+  // which keeps the legacy prediction bit-identical.
+  std::uint32_t pipeline_depth = 1;  ///< in-flight chunk window (1 = off)
+  double pull_raw_bytes = 0.0;   ///< pre-codec fp32 volume, pull direction
+  double push_raw_bytes = 0.0;   ///< pre-codec fp32 volume, push direction
+  double encode_gbs = 0.0;       ///< codec encode throughput over RAW bytes
+  double commit_gbs = 0.0;       ///< decode+EF-commit throughput over RAW
 };
 
 /// One worker's role in the epoch.

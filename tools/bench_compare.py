@@ -14,8 +14,10 @@ machine-relative (both runs happen on the same runner), unlike raw wall
 seconds or GB/s, so they are the only fields stable enough to gate CI on.
 
 A metric regresses when it drops by more than --tolerance relative to the
-baseline: (baseline - current) / baseline > tolerance.  Improvements never
-fail.  Schema drift never raises: rows or metrics present in only one file
+baseline: (baseline - current) / baseline > tolerance.  A repeatable
+--tolerance-override METRIC=FRAC flag tightens (or loosens) the gate for
+exact metric names — e.g. the pipeline overlap ratios gate at 0.15 while
+the noisier legacy comm rows stay at 0.35.  Improvements never fail.  Schema drift never raises: rows or metrics present in only one file
 get an explicit per-metric "missing in fresh run" / "missing in baseline"
 line and don't fail the comparison (benches grow sections over time; a
 stale baseline just means the new metrics aren't gated yet).
@@ -100,9 +102,27 @@ def main():
     parser.add_argument("current", help="freshly produced --json-out file")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="max allowed relative drop (default 0.15)")
+    parser.add_argument("--tolerance-override", action="append", default=[],
+                        metavar="METRIC=FRAC",
+                        help="per-metric tolerance overriding --tolerance on "
+                             "an exact metric-name match; repeatable (e.g. "
+                             "--tolerance-override overlap_efficiency_ratio"
+                             "=0.15)")
     parser.add_argument("--report", default=None,
                         help="write the comparison table to this file too")
     args = parser.parse_args()
+
+    overrides = {}
+    for spec in args.tolerance_override:
+        metric, sep, frac = spec.partition("=")
+        try:
+            if not sep or not metric:
+                raise ValueError(spec)
+            overrides[metric] = float(frac)
+        except ValueError:
+            print(f"bench_compare: malformed --tolerance-override {spec!r} "
+                  "(expected METRIC=FRAC)", file=sys.stderr)
+            sys.exit(2)
 
     base_doc = load(args.baseline)
     curr_doc = load(args.current)
@@ -117,6 +137,8 @@ def main():
 
     lines = [f"bench: {base_doc.get('bench')}  tolerance: "
              f"{args.tolerance:.0%}"]
+    for metric, tol in sorted(overrides.items()):
+        lines.append(f"  tolerance override: {metric} = {tol:.0%}")
     regressions = 0
     compared = 0
 
@@ -144,8 +166,9 @@ def main():
                 continue
             compared += 1
             drop = ((base_val - curr_val) / base_val) if base_val else 0.0
+            tolerance = overrides.get(metric, args.tolerance)
             status = "ok"
-            if drop > args.tolerance:
+            if drop > tolerance:
                 status = "REGRESSION"
                 regressions += 1
             lines.append(
